@@ -1,0 +1,48 @@
+(* Standalone evaluation runner: regenerates the paper's tables and
+   figures without the micro-benchmarks.  `bench/main.exe` is the full
+   harness; this binary exists so the evaluation can be driven from
+   scripts:
+
+     dune exec bin/experiments.exe -- table2 table3
+     dune exec bin/experiments.exe -- full          # evaluation budgets
+     dune exec bin/experiments.exe -- bugs          # regenerate BUGS.md *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let budget, seeds, targets =
+    match args with
+    | "full" :: rest -> (30000, [ 7; 77; 777 ], rest)
+    | rest -> (12000, [ 7; 77 ], rest)
+  in
+  let targets =
+    if targets = [] then
+      [ "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3" ]
+    else targets
+  in
+  let detections = ref None in
+  let get () =
+    match !detections with
+    | Some d -> d
+    | None ->
+        Printf.printf "Hunting all catalog bugs (%d queries x %d seeds)...\n%!"
+          budget (List.length seeds);
+        let d =
+          Experiments.Detection.run_all ~budget ~seeds ~progress:true ()
+        in
+        detections := Some d;
+        d
+  in
+  List.iter
+    (function
+      | "table1" -> Experiments.Table1.run ()
+      | "table2" -> Experiments.Table2.run (get ())
+      | "table3" -> Experiments.Table3.run (get ())
+      | "table4" -> Experiments.Table4.run ()
+      | "figure2" -> detections := Some (Experiments.Figure2.run (get ()))
+      | "bugs" -> Experiments.Bug_catalog_doc.generate (get ())
+      | "figure3" -> detections := Some (Experiments.Figure3.run (get ()))
+      | "perf" -> Experiments.Throughput.run ()
+      | "baselines" -> Experiments.Baseline_cmp.run (get ())
+      | "ablations" -> Experiments.Ablations.run ()
+      | t -> Printf.printf "unknown target %s\n" t)
+    targets

@@ -1,0 +1,118 @@
+(* A tiny SQL shell over the minidb engine.
+
+     dune exec bin/minidb.exe -- --dialect sqlite
+     minidb> CREATE TABLE t0(c0 INT);
+     minidb> INSERT INTO t0(c0) VALUES (1), (2);
+     minidb> SELECT * FROM t0 WHERE c0 > 1;
+
+   `.bugs Sq_rtrim_compare_asymmetric,...` re-opens the session with the
+   given injected bugs enabled, which makes it easy to reproduce the paper
+   listings interactively. *)
+
+open Cmdliner
+
+let print_result = function
+  | Engine.Session.Rows rs ->
+      print_string (String.concat "|" rs.Engine.Executor.rs_columns);
+      print_newline ();
+      List.iter
+        (fun row ->
+          print_string
+            (String.concat "|"
+               (Array.to_list (Array.map Sqlval.Value.to_display row)));
+          print_newline ())
+        rs.Engine.Executor.rs_rows;
+      Printf.printf "(%d rows)\n" (List.length rs.Engine.Executor.rs_rows)
+  | Engine.Session.Affected n -> Printf.printf "ok (%d rows affected)\n" n
+  | Engine.Session.Done -> print_endline "ok"
+
+let handle_meta session_ref dialect line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ ".bugs" ] | [ ".bugs"; "" ] ->
+      session_ref := Engine.Session.create dialect;
+      print_endline "bugs cleared; fresh session";
+      true
+  | [ ".bugs"; spec ] ->
+      let bugs =
+        String.split_on_char ',' spec
+        |> List.filter_map (fun name ->
+               match Engine.Bug.of_string (String.trim name) with
+               | Some b -> Some b
+               | None ->
+                   Printf.printf "unknown bug: %s\n" name;
+                   None)
+      in
+      session_ref :=
+        Engine.Session.create ~bugs:(Engine.Bug.set_of_list bugs) dialect;
+      Printf.printf "fresh session with %d bug(s) enabled\n" (List.length bugs);
+      true
+  | [ ".tables" ] ->
+      List.iter print_endline (Engine.Session.table_names !session_ref);
+      true
+  | [ ".quit" ] | [ ".exit" ] -> raise Exit
+  | _ -> false
+
+let repl dialect =
+  Printf.printf
+    "minidb %s — type SQL terminated by ';', or .tables / .bugs <list> / \
+     .quit\n"
+    (Sqlval.Dialect.name dialect);
+  let session = ref (Engine.Session.create dialect) in
+  let buffer = Buffer.create 256 in
+  (try
+     while true do
+       print_string (if Buffer.length buffer = 0 then "minidb> " else "   ...> ");
+       flush stdout;
+       let line = try input_line stdin with End_of_file -> raise Exit in
+       if Buffer.length buffer = 0 && String.length (String.trim line) > 0
+          && (String.trim line).[0] = '.'
+       then begin
+         if not (handle_meta session dialect line) then
+           print_endline "unknown meta command"
+       end
+       else begin
+         Buffer.add_string buffer line;
+         Buffer.add_char buffer '\n';
+         let text = Buffer.contents buffer in
+         if String.contains line ';' then begin
+           Buffer.clear buffer;
+           match Sqlparse.Parser.parse_script text with
+           | Error e -> print_endline (Sqlparse.Parser.show_error e)
+           | Ok stmts ->
+               List.iter
+                 (fun stmt ->
+                   match Engine.Session.execute !session stmt with
+                   | Ok r -> print_result r
+                   | Error e -> print_endline (Engine.Errors.show e)
+                   | exception Engine.Errors.Crash msg ->
+                       Printf.printf "!! simulated SEGFAULT: %s\n" msg;
+                       print_endline "(session survives; a real DBMS would not)")
+                 stmts
+         end
+       end
+     done
+   with Exit -> ());
+  print_endline "bye";
+  0
+
+let dialect_conv =
+  let parse s =
+    match Sqlval.Dialect.of_name s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown dialect %S" s))
+  in
+  Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Sqlval.Dialect.name d))
+
+let () =
+  let dialect =
+    Arg.(
+      value
+      & opt dialect_conv Sqlval.Dialect.Sqlite_like
+      & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc:"sqlite, mysql or postgres")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "minidb" ~doc:"interactive SQL shell over the minidb engine")
+      Term.(const repl $ dialect)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,190 @@
+(* The PQS bug-hunting CLI, in the spirit of the paper's SQLancer tool.
+
+   Examples:
+
+     # list the injected-bug catalog
+     sqlancer list-bugs
+
+     # hunt a specific injected bug and print the reduced reproduction
+     sqlancer hunt --dialect sqlite --bug Sq_partial_index_implies_not_null
+
+     # free run against a correct engine (should find nothing)
+     sqlancer run --dialect postgres --queries 5000 *)
+
+open Cmdliner
+
+let dialect_conv =
+  let parse s =
+    match Sqlval.Dialect.of_name s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown dialect %S" s))
+  in
+  Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Sqlval.Dialect.name d))
+
+let bug_conv =
+  let parse s =
+    match Engine.Bug.of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown bug %S (try list-bugs)" s))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Engine.Bug.show b))
+
+let dialect_arg =
+  Arg.(
+    value
+    & opt dialect_conv Sqlval.Dialect.Sqlite_like
+    & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc:"sqlite, mysql or postgres")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"random seed")
+
+let queries_arg =
+  Arg.(
+    value & opt int 10000
+    & info [ "n"; "queries" ] ~docv:"N" ~doc:"containment-check budget")
+
+let print_report ~reduce ~bugs (r : Pqs.Bug_report.t) =
+  let r = if reduce then Pqs.Reducer.reduce_report r ~bugs else r in
+  Format.printf "%a@." Pqs.Bug_report.pp r
+
+(* ---- list-bugs ---- *)
+
+let list_bugs () =
+  List.iter
+    (fun bug ->
+      let info = Engine.Bug.info bug in
+      Printf.printf "%-42s %-10s %-11s %-9s %s\n" (Engine.Bug.show bug)
+        (Sqlval.Dialect.name info.Engine.Bug.dialect)
+        (match info.Engine.Bug.oracle with
+        | Engine.Bug.O_containment -> "containment"
+        | Engine.Bug.O_error -> "error"
+        | Engine.Bug.O_crash -> "crash")
+        (Engine.Bug.show_status info.Engine.Bug.status)
+        info.Engine.Bug.paper_ref)
+    Engine.Bug.all
+
+let list_bugs_cmd =
+  Cmd.v
+    (Cmd.info "list-bugs" ~doc:"list the injected-bug catalog")
+    Term.(
+      const (fun () ->
+          list_bugs ();
+          0)
+      $ const ())
+
+(* ---- hunt ---- *)
+
+let hunt dialect bug seed queries no_reduce =
+  let info = Engine.Bug.info bug in
+  let dialect =
+    if Sqlval.Dialect.equal dialect info.Engine.Bug.dialect then dialect
+    else begin
+      Printf.printf "note: %s is a %s bug; using that dialect\n"
+        (Engine.Bug.show bug)
+        (Sqlval.Dialect.name info.Engine.Bug.dialect);
+      info.Engine.Bug.dialect
+    end
+  in
+  let bugs = Engine.Bug.set_of_list [ bug ] in
+  let config = Pqs.Runner.default_config ~seed ~bugs dialect in
+  Printf.printf "hunting %s (%s) with up to %d containment checks...\n%!"
+    (Engine.Bug.show bug) info.Engine.Bug.summary queries;
+  match Pqs.Runner.hunt config ~max_queries:queries with
+  | Some r ->
+      print_report ~reduce:(not no_reduce) ~bugs r;
+      0
+  | None ->
+      Printf.printf "not detected within the budget; try more --queries or \
+                     another --seed\n";
+      1
+
+let hunt_cmd =
+  let bug_arg =
+    Arg.(
+      required
+      & opt (some bug_conv) None
+      & info [ "b"; "bug" ] ~docv:"BUG" ~doc:"injected bug to enable")
+  in
+  let no_reduce =
+    Arg.(value & flag & info [ "no-reduce" ] ~doc:"skip test-case reduction")
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"enable one injected bug and hunt it")
+    Term.(const hunt $ dialect_arg $ bug_arg $ seed_arg $ queries_arg $ no_reduce)
+
+(* ---- run ---- *)
+
+let run dialect seed queries all_bugs =
+  let bugs =
+    if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
+    else Engine.Bug.empty_set
+  in
+  let config = Pqs.Runner.default_config ~seed ~bugs dialect in
+  let stats = Pqs.Runner.run ~max_queries:queries config in
+  Printf.printf
+    "databases=%d pivots=%d containment-checks=%d statements=%d findings=%d\n"
+    stats.Pqs.Runner.databases stats.Pqs.Runner.pivots stats.Pqs.Runner.queries
+    stats.Pqs.Runner.statements
+    (List.length stats.Pqs.Runner.reports);
+  List.iter (print_report ~reduce:true ~bugs) (List.rev stats.Pqs.Runner.reports);
+  if stats.Pqs.Runner.reports = [] then 0 else 1
+
+let run_cmd =
+  let all_bugs =
+    Arg.(
+      value & flag
+      & info [ "all-bugs" ]
+          ~doc:"enable every catalog bug of the dialect (default: none)")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"run the PQS loop and report findings")
+    Term.(const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs)
+
+(* ---- metamorphic ---- *)
+
+let metamorphic dialect seed checks bug =
+  let bugs =
+    match bug with
+    | Some b -> Engine.Bug.set_of_list [ b ]
+    | None -> Engine.Bug.empty_set
+  in
+  let stats = Pqs.Metamorphic.run ~seed ~bugs ~max_checks:checks dialect in
+  Printf.printf "checks=%d skipped=%d violations=%d
+"
+    stats.Pqs.Metamorphic.checks stats.Pqs.Metamorphic.skipped
+    (List.length stats.Pqs.Metamorphic.findings);
+  List.iter
+    (fun (msg, script) ->
+      Printf.printf "
+%s
+%s
+" msg
+        (Sqlast.Sql_printer.script dialect script))
+    stats.Pqs.Metamorphic.findings;
+  if stats.Pqs.Metamorphic.findings = [] then 0 else 1
+
+let metamorphic_cmd =
+  let checks =
+    Arg.(
+      value & opt int 4000
+      & info [ "checks" ] ~docv:"N" ~doc:"partition checks to run")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some bug_conv) None
+      & info [ "b"; "bug" ] ~docv:"BUG" ~doc:"injected bug to enable")
+  in
+  Cmd.v
+    (Cmd.info "metamorphic"
+       ~doc:"aggregate partition checks (the Section 7 extension)")
+    Term.(const metamorphic $ dialect_arg $ seed_arg $ checks $ bug)
+
+let () =
+  let info =
+    Cmd.info "sqlancer" ~version:"1.0"
+      ~doc:"Pivoted Query Synthesis bug hunter (OSDI 2020 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_bugs_cmd; hunt_cmd; run_cmd; metamorphic_cmd ]))

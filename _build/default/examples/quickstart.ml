@@ -1,0 +1,49 @@
+(* Quickstart: open a session on the sqlite-like engine, run SQL text, and
+   read result sets.
+
+     dune exec examples/quickstart.exe *)
+
+let exec session sql =
+  Printf.printf "sql> %s\n" sql;
+  match Sqlparse.Parser.parse_stmt sql with
+  | Error e -> Printf.printf "parse error: %s\n" (Sqlparse.Parser.show_error e)
+  | Ok stmt -> (
+      match Engine.Session.execute session stmt with
+      | Ok (Engine.Session.Rows rs) ->
+          Printf.printf "     %s\n" (String.concat "|" rs.Engine.Executor.rs_columns);
+          List.iter
+            (fun row ->
+              Printf.printf "     %s\n"
+                (String.concat "|"
+                   (Array.to_list (Array.map Sqlval.Value.to_display row))))
+            rs.Engine.Executor.rs_rows
+      | Ok (Engine.Session.Affected n) -> Printf.printf "     ok, %d rows\n" n
+      | Ok Engine.Session.Done -> Printf.printf "     ok\n"
+      | Error e -> Printf.printf "     error: %s\n" (Engine.Errors.show e))
+
+let () =
+  let session = Engine.Session.create Sqlval.Dialect.Sqlite_like in
+  List.iter (exec session)
+    [
+      "CREATE TABLE users(id INTEGER PRIMARY KEY, name TEXT COLLATE NOCASE, \
+       score REAL)";
+      "CREATE INDEX users_by_name ON users(name)";
+      "INSERT INTO users(id, name, score) VALUES (1, 'Ada', 3.5), (2, 'bob', \
+       1.25), (3, 'Eve', NULL)";
+      (* NOCASE collation: 'ADA' matches 'Ada' *)
+      "SELECT id, name FROM users WHERE name = 'ADA'";
+      (* three-valued logic: Eve's NULL score is in neither branch *)
+      "SELECT name FROM users WHERE score > 2";
+      "SELECT name FROM users WHERE NOT (score > 2)";
+      "SELECT name FROM users WHERE (score > 2) IS NULL";
+      (* aggregates and grouping *)
+      "SELECT COUNT(*), AVG(score) FROM users";
+      (* sqlite stores anything anywhere: text in the REAL column *)
+      "INSERT INTO users(id, name, score) VALUES (4, 'Mallory', 'not-a-score')";
+      "SELECT name, TYPEOF(score) FROM users ORDER BY id ASC";
+      (* transactions *)
+      "BEGIN";
+      "DELETE FROM users WHERE id >= 1";
+      "ROLLBACK";
+      "SELECT COUNT(*) FROM users";
+    ]

@@ -1,0 +1,1 @@
+lib/baselines/difftest.ml: Array Datatype Dialect Engine Int64 List Pqs Printf Sqlast Sqlval String Value

@@ -1,0 +1,1 @@
+lib/baselines/difftest.mli: Engine Sqlval

@@ -1,0 +1,1 @@
+lib/baselines/fuzzer.ml: Dialect Engine List Pqs Sqlast Sqlval

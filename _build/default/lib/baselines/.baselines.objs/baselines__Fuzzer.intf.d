@@ -1,0 +1,1 @@
+lib/baselines/fuzzer.mli: Engine Pqs Sqlval

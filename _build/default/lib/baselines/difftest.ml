@@ -1,0 +1,212 @@
+open Sqlval
+module A = Sqlast.Ast
+
+type config = { bugs : Engine.Bug.set; seed : int }
+
+let default_config ?(seed = 1) ?(bugs = Engine.Bug.empty_set) () =
+  { bugs; seed }
+
+type finding = {
+  query_text : string;
+  mismatched : (Dialect.t * int) list;
+}
+
+type stats = {
+  mutable queries : int;
+  mutable statements : int;
+  mutable findings : finding list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Common-core generation: accepted, with identical semantics, by all
+   three dialect personalities                                          *)
+
+type core_col = { cc_name : string; cc_type : Datatype.t }
+
+let core_schema rng =
+  let ncols = Pqs.Rng.int_in rng 1 3 in
+  List.init ncols (fun i ->
+      {
+        cc_name = Printf.sprintf "c%d" i;
+        cc_type =
+          Pqs.Rng.pick rng
+            [
+              Datatype.Int { width = Datatype.Regular; unsigned = false };
+              Datatype.Text;
+              Datatype.Real;
+            ];
+      })
+
+let core_literal rng (ty : Datatype.t) =
+  if Pqs.Rng.chance rng 0.15 then Value.Null
+  else
+    match ty with
+    | Datatype.Text -> Value.Text (Pqs.Rng.small_string rng)
+    | Datatype.Real -> Value.Real (Pqs.Rng.interesting_real rng)
+    | _ -> Value.Int (Int64.of_int (Pqs.Rng.int_in rng (-100) 100))
+
+let rec core_condition rng cols depth : A.expr =
+  let col () =
+    let c = Pqs.Rng.pick rng cols in
+    (A.col c.cc_name, c.cc_type)
+  in
+  let leaf () =
+    let c, ty = col () in
+    match Pqs.Rng.pick_weighted rng [ (5, `Cmp); (2, `Is_null); (2, `Between); (1, `In) ] with
+    | `Cmp ->
+        let op = Pqs.Rng.pick rng [ A.Eq; A.Neq; A.Lt; A.Le; A.Gt; A.Ge ] in
+        A.Binary (op, c, A.Lit (core_literal rng ty))
+    | `Is_null -> A.Is { negated = Pqs.Rng.bool rng; arg = c; rhs = A.Is_null }
+    | `Between ->
+        A.Between
+          {
+            negated = false;
+            arg = c;
+            lo = A.Lit (core_literal rng ty);
+            hi = A.Lit (core_literal rng ty);
+          }
+    | `In ->
+        A.In_list
+          {
+            negated = Pqs.Rng.bool rng;
+            arg = c;
+            list =
+              List.init (Pqs.Rng.int_in rng 1 3) (fun _ ->
+                  A.Lit (core_literal rng ty));
+          }
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Pqs.Rng.pick_weighted rng [ (4, `Leaf); (2, `And); (2, `Or); (1, `Not) ] with
+    | `Leaf -> leaf ()
+    | `And ->
+        A.Binary
+          (A.And, core_condition rng cols (depth - 1), core_condition rng cols (depth - 1))
+    | `Or ->
+        A.Binary
+          (A.Or, core_condition rng cols (depth - 1), core_condition rng cols (depth - 1))
+    | `Not -> A.Unary (A.Not, core_condition rng cols (depth - 1))
+
+let core_create cols : A.stmt =
+  A.Create_table
+    {
+      A.ct_name = "t0";
+      ct_if_not_exists = false;
+      ct_columns =
+        List.map
+          (fun c ->
+            {
+              A.col_name = c.cc_name;
+              col_type = c.cc_type;
+              col_collate = None;
+              col_constraints = [];
+            })
+          cols;
+      ct_constraints = [];
+      ct_without_rowid = false;
+      ct_engine = None;
+      ct_inherits = None;
+    }
+
+let core_insert rng cols : A.stmt =
+  let nrows = Pqs.Rng.int_in rng 1 4 in
+  A.Insert
+    {
+      table = "t0";
+      columns = [];
+      rows =
+        List.init nrows (fun _ ->
+            List.map (fun c -> A.Lit (core_literal rng c.cc_type)) cols);
+      action = A.On_conflict_abort;
+    }
+
+(* ------------------------------------------------------------------ *)
+
+(* Result sets compared as sorted bags of display strings: collapses the
+   Int/Bool encoding difference without hiding real differences. *)
+let canonical_rows (rs : Engine.Executor.result_set) =
+  rs.Engine.Executor.rs_rows
+  |> List.map (fun row ->
+         String.concat "|"
+           (Array.to_list
+              (Array.map
+                 (fun v ->
+                   match v with
+                   | Value.Bool b -> if b then "1" else "0"
+                   | v -> Value.to_display v)
+                 row)))
+  |> List.sort String.compare
+
+let run ~max_queries config =
+  let stats = { queries = 0; statements = 0; findings = [] } in
+  let rec db_round round =
+    if stats.queries >= max_queries || round > max 50 max_queries then stats
+    else begin
+      let rng = Pqs.Rng.make ~seed:(config.seed + (round * 6991)) in
+      let cols = core_schema rng in
+      let sessions =
+        List.map
+          (fun d -> (d, Engine.Session.create ~bugs:config.bugs d))
+          Dialect.all
+      in
+      let exec_all stmt =
+        stats.statements <- stats.statements + List.length sessions;
+        List.iter
+          (fun (_, s) ->
+            match Engine.Session.execute s stmt with
+            | Ok _ | Error _ -> ()
+            | exception Engine.Errors.Crash _ -> ())
+          sessions
+      in
+      exec_all (core_create cols);
+      for _ = 1 to Pqs.Rng.int_in rng 1 3 do
+        exec_all (core_insert rng cols)
+      done;
+      for _ = 1 to 15 do
+        if stats.queries < max_queries then begin
+          stats.queries <- stats.queries + 1;
+          let q =
+            A.Q_select
+              {
+                A.sel_distinct = Pqs.Rng.chance rng 0.3;
+                sel_items =
+                  List.map (fun c -> A.Sel_expr (A.col c.cc_name, None)) cols;
+                sel_from = [ A.F_table { name = "t0"; alias = None } ];
+                sel_where = Some (core_condition rng cols 2);
+                sel_group_by = [];
+                sel_having = None;
+                sel_order_by = [];
+                sel_limit = None;
+                sel_offset = None;
+              }
+          in
+          stats.statements <- stats.statements + List.length sessions;
+          let results =
+            List.map
+              (fun (d, s) ->
+                match Engine.Session.query s q with
+                | Ok rs -> (d, Some (canonical_rows rs))
+                | Error _ -> (d, None)
+                | exception Engine.Errors.Crash _ -> (d, None))
+              sessions
+          in
+          let distinct_outcomes =
+            List.sort_uniq compare (List.filter_map snd results)
+          in
+          if List.length distinct_outcomes > 1 then
+            stats.findings <-
+              {
+                query_text = Sqlast.Sql_printer.query Dialect.Sqlite_like q;
+                mismatched =
+                  List.map
+                    (fun (d, r) ->
+                      (d, match r with Some rows -> List.length rows | None -> -1))
+                    results;
+              }
+              :: stats.findings
+        end
+      done;
+      db_round (round + 1)
+    end
+  in
+  db_round 0

@@ -1,0 +1,34 @@
+(** RAGS-style differential testing (Slutz 1998; paper Sections 1, 2, 6).
+
+    Runs identical common-core SQL on all three dialect personalities and
+    compares the fetched result sets.  The common core is what all three
+    accept: typed columns (INT/TEXT/REAL), standard comparisons and
+    predicates — no collations, storage engines, inheritance, [IS NOT] over
+    scalars, [<=>], untyped columns or dialect options.
+
+    The paper's two criticisms are both observable here: (1) most injected
+    bugs live behind dialect-specific features the common core cannot
+    express, so differential testing cannot trigger them; (2) a bug shared
+    by all engines would produce identical (wrong) results — modeled by
+    enabling the same bug set on every session. *)
+
+type config = {
+  bugs : Engine.Bug.set;  (** enabled on every compared engine *)
+  seed : int;
+}
+
+val default_config : ?seed:int -> ?bugs:Engine.Bug.set -> unit -> config
+
+type finding = {
+  query_text : string;
+  mismatched : (Sqlval.Dialect.t * int) list;
+      (** result-set cardinality per dialect *)
+}
+
+type stats = {
+  mutable queries : int;
+  mutable statements : int;
+  mutable findings : finding list;
+}
+
+val run : max_queries:int -> config -> stats

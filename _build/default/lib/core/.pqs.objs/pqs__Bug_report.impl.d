@@ -1,0 +1,1 @@
+lib/core/bug_report.pp.ml: Dialect Format List Option Ppx_deriving_runtime Sqlast Sqlval

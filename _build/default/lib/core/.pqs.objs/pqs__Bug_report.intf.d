@@ -1,0 +1,1 @@
+lib/core/bug_report.pp.mli: Dialect Format Sqlast Sqlval

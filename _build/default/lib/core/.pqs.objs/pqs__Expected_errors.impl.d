@@ -1,0 +1,1 @@
+lib/core/expected_errors.pp.ml: Dialect Engine List Sqlast Sqlval

@@ -1,0 +1,1 @@
+lib/core/expected_errors.pp.mli: Engine Sqlast Sqlval

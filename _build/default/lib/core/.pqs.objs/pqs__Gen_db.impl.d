@@ -1,0 +1,1 @@
+lib/core/gen_db.pp.ml: Array Collation Datatype Dialect Gen_expr Int64 List Printf Rng Schema_info Sqlast Sqlval Value

@@ -1,0 +1,1 @@
+lib/core/gen_db.pp.mli: Engine Rng Schema_info Sqlast Sqlval

@@ -1,0 +1,1 @@
+lib/core/gen_expr.pp.ml: Char Collation Datatype Dialect Int64 List Printf Rng Schema_info Sqlast Sqlval String Value

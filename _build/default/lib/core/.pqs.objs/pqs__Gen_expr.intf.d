@@ -1,0 +1,1 @@
+lib/core/gen_expr.pp.mli: Datatype Dialect Rng Schema_info Sqlast Sqlval Value

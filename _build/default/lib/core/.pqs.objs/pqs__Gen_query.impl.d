@@ -1,0 +1,1 @@
+lib/core/gen_query.pp.ml: Array Gen_expr Interp List Rectify Result Rng Schema_info Sqlast Sqlval Tvl Value

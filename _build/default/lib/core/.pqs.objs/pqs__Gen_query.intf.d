@@ -1,0 +1,1 @@
+lib/core/gen_query.pp.mli: Dialect Rng Schema_info Sqlast Sqlval Tvl Value

@@ -1,0 +1,1 @@
+lib/core/interp.pp.ml: Array Buffer Char Coerce Collation Datatype Dialect Float Int64 Like_matcher List Numeric Option Printf Result Schema_info Sqlast Sqlval String Tvl Value

@@ -1,0 +1,1 @@
+lib/core/interp.pp.mli: Collation Datatype Dialect Schema_info Sqlast Sqlval Tvl Value

@@ -1,0 +1,1 @@
+lib/core/metamorphic.pp.ml: Array Engine Gen_db Gen_expr Int64 List Printf Rng Schema_info Sqlast Sqlval Value

@@ -1,0 +1,1 @@
+lib/core/metamorphic.pp.mli: Engine Rng Schema_info Sqlast Sqlval

@@ -1,0 +1,1 @@
+lib/core/rectify.pp.ml: Interp Result Sqlast Sqlval Tvl

@@ -1,0 +1,1 @@
+lib/core/rectify.pp.mli: Interp Sqlast Sqlval

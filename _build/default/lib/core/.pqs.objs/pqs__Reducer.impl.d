@@ -1,0 +1,1 @@
+lib/core/reducer.pp.ml: Bug_report Engine Expected_errors List Sqlast

@@ -1,0 +1,1 @@
+lib/core/reducer.pp.mli: Bug_report Engine Sqlast Sqlval

@@ -1,0 +1,1 @@
+lib/core/rng.pp.ml: Char Float Int64 List Printf Random String

@@ -1,0 +1,1 @@
+lib/core/runner.pp.ml: Bug_report Dialect Domain Engine Expected_errors Gen_db Gen_query List Rng Schema_info Sqlast Sqlval Tvl

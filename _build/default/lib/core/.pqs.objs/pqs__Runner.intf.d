@@ -1,0 +1,1 @@
+lib/core/runner.pp.mli: Bug_report Engine Sqlval

@@ -1,0 +1,1 @@
+lib/core/schema_info.pp.ml: Array Collation Datatype Engine Format List Sqlast Sqlval Storage String

@@ -1,0 +1,1 @@
+lib/core/schema_info.pp.mli: Collation Datatype Engine Format Sqlast Sqlval Value

@@ -1,0 +1,31 @@
+open Sqlval
+
+type oracle = Containment | Non_containment | Error_oracle | Crash
+[@@deriving show { with_path = false }, eq]
+
+(* the negative variant reports under the same Table 3 column *)
+let oracle_label = function
+  | Containment | Non_containment -> "Contains"
+  | Error_oracle -> "Error"
+  | Crash -> "SEGFAULT"
+
+type t = {
+  dialect : Dialect.t;
+  oracle : oracle;
+  message : string;
+  statements : Sqlast.Ast.stmt list;
+  reduced : Sqlast.Ast.stmt list option;
+  seed : int;
+}
+
+let effective_statements t = Option.value ~default:t.statements t.reduced
+
+let script t =
+  Sqlast.Sql_printer.script t.dialect (effective_statements t)
+
+let loc t = List.length (effective_statements t)
+
+let pp fmt t =
+  Format.fprintf fmt "[%s/%s] %s (seed %d)@.%s@."
+    (Dialect.display_name t.dialect)
+    (oracle_label t.oracle) t.message t.seed (script t)

@@ -1,0 +1,38 @@
+(** Bug reports produced by the PQS oracles. *)
+
+open Sqlval
+
+type oracle =
+  | Containment
+  | Non_containment
+      (** the rectified-to-FALSE variant: the pivot row was unexpectedly
+          contained (paper Section 7 extension) *)
+  | Error_oracle
+  | Crash
+
+val pp_oracle : Format.formatter -> oracle -> unit
+val show_oracle : oracle -> string
+val equal_oracle : oracle -> oracle -> bool
+
+(** The display label used by the evaluation tables (paper Table 3 column
+    names: Contains / Error / SEGFAULT). *)
+val oracle_label : oracle -> string
+
+type t = {
+  dialect : Dialect.t;
+  oracle : oracle;
+  message : string;  (** what the oracle observed *)
+  statements : Sqlast.Ast.stmt list;
+      (** full reproduction script, the offending statement last *)
+  reduced : Sqlast.Ast.stmt list option;  (** after test-case reduction *)
+  seed : int;
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** The reproduction script as SQL text (reduced if available), one
+    statement per line — the unit in which the paper counts test-case LOC
+    (Figure 2). *)
+val script : t -> string
+
+val loc : t -> int

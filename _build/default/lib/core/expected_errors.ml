@@ -1,0 +1,67 @@
+open Sqlval
+module A = Sqlast.Ast
+module E = Engine.Errors
+
+(* Errors any statement may produce because the generator does not track
+   schema/type state precisely (paper: "generating semantically correct
+   statements is sometimes impractical"). *)
+let universal = [ E.No_such_table; E.No_such_column; E.Ambiguous_column ]
+
+let value_errors dialect =
+  match dialect with
+  | Dialect.Sqlite_like -> [ E.Out_of_range ]
+  | Dialect.Mysql_like -> [ E.Out_of_range; E.Type_error ]
+  | Dialect.Postgres_like ->
+      [ E.Out_of_range; E.Type_error; E.Division_by_zero ]
+
+let expected dialect (stmt : A.stmt) : E.code list =
+  let v = value_errors dialect in
+  universal
+  @
+  match stmt with
+  | A.Create_table _ -> [ E.Object_exists; E.Syntax_error ] @ v
+  | A.Drop_table _ -> [ E.Txn_state (* dependent objects *) ]
+  | A.Alter_table { action; _ } -> (
+      match action with
+      | A.Add_column _ -> [ E.Object_exists; E.Not_null_violation; E.Syntax_error ] @ v
+      | A.Drop_column _ -> [ E.Syntax_error ]
+      | A.Rename_column _ | A.Rename_table _ -> [ E.Object_exists ])
+  | A.Create_index _ ->
+      (* building a UNIQUE index over conflicting data is legitimate *)
+      [ E.Object_exists; E.Unique_violation; E.Syntax_error ] @ v
+  | A.Drop_index _ -> [ E.No_such_index ]
+  | A.Create_view _ -> [ E.Object_exists; E.Syntax_error ] @ v
+  | A.Drop_view _ -> [ E.No_such_view ]
+  | A.Insert { action; _ } -> (
+      match action with
+      | A.On_conflict_abort ->
+          [ E.Unique_violation; E.Not_null_violation; E.Check_violation;
+            E.Syntax_error ]
+          @ v
+      | A.On_conflict_replace -> [ E.Not_null_violation; E.Check_violation ] @ v
+      | A.On_conflict_ignore ->
+          (* OR IGNORE swallows constraint errors (the paper's explicit
+             example), but expression-index evaluation may still fail *)
+          v)
+  | A.Update { action; _ } -> (
+      match action with
+      | A.On_conflict_abort ->
+          [ E.Unique_violation; E.Not_null_violation; E.Check_violation ] @ v
+      | A.On_conflict_replace -> [ E.Not_null_violation; E.Check_violation ] @ v
+      | A.On_conflict_ignore -> v)
+  | A.Delete _ -> v
+  | A.Select_stmt _ -> v
+  | A.Vacuum _ -> [ E.Syntax_error ]
+  | A.Reindex _ -> [ E.Syntax_error; E.No_such_index ]
+  | A.Analyze _ -> []
+  | A.Check_table _ | A.Repair_table _ -> [ E.Syntax_error ]
+  | A.Set_option _ | A.Pragma _ -> [ E.Syntax_error ]
+  | A.Create_statistics _ -> [ E.Object_exists; E.Syntax_error ]
+  | A.Discard_all -> [ E.Syntax_error ]
+  | A.Begin_txn | A.Commit_txn | A.Rollback_txn -> [ E.Txn_state ]
+  | A.Explain _ -> [ E.Syntax_error ] @ v
+
+let is_expected dialect stmt (err : E.t) =
+  match E.severity err with
+  | E.Corruption | E.Internal -> false
+  | E.Ordinary -> List.exists (E.equal_code err.E.code) (expected dialect stmt)

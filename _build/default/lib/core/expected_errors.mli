@@ -1,0 +1,16 @@
+(** Expected-error lists (paper Section 3.3, "Error handling").
+
+    Rather than guaranteeing semantic correctness of every generated
+    statement, PQS associates each statement with the error codes it may
+    legitimately produce (e.g. an INSERT may hit a UNIQUE constraint; an
+    INSERT OR IGNORE must not).  An error outside the list — and any
+    corruption- or internal-class error regardless of the list — is a bug
+    (the error oracle). *)
+
+val expected :
+  Sqlval.Dialect.t -> Sqlast.Ast.stmt -> Engine.Errors.code list
+
+(** Is this error acceptable for this statement?  Corruption and internal
+    errors never are. *)
+val is_expected :
+  Sqlval.Dialect.t -> Sqlast.Ast.stmt -> Engine.Errors.t -> bool

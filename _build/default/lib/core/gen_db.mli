@@ -1,0 +1,39 @@
+(** Random database generation (paper step 1 and Section 3.3).
+
+    Creates tables with CREATE TABLE, fills them with INSERT, and explores
+    the state space with further DDL/DML: UPDATE, DELETE, ALTER TABLE,
+    CREATE INDEX (incl. unique/partial/expression/collated indexes), views,
+    run-time options, and the dialect-specific statements the paper calls
+    out (REPAIR/CHECK TABLE for mysql; DISCARD and CREATE STATISTICS for
+    postgres; PRAGMA, VACUUM and REINDEX for sqlite). *)
+
+type config = {
+  rng : Rng.t;
+  dialect : Sqlval.Dialect.t;
+  table_count : int;  (** tables per database (paper uses few) *)
+  max_columns : int;
+  min_rows : int;  (** paper Section 3.4: low row counts (10–30) *)
+  max_rows : int;
+  extra_statements : int;  (** additional random DDL/DML statements *)
+}
+
+val default_config : ?seed:int -> Sqlval.Dialect.t -> config
+
+(** The CREATE TABLE statements opening a database round. *)
+val initial_statements : config -> Sqlast.Ast.stmt list
+
+(** INSERTs that bring every table to at least [min_rows] rows (the paper
+    ensures each table holds at least one row). *)
+val fill_statements : config -> Engine.Session.t -> Sqlast.Ast.stmt list
+
+(** One INSERT of 1–3 random rows into the table; rows occasionally clone
+    (and slightly mutate) an existing row so near-duplicates occur. *)
+val insert_stmt :
+  ?existing_rows:Sqlval.Value.t array list ->
+  config ->
+  Schema_info.table_info ->
+  Sqlast.Ast.stmt
+
+(** One more random statement group (usually a single statement; BEGIN ...
+    COMMIT pairs arrive as a group), chosen from the current schema. *)
+val random_statements : config -> Engine.Session.t -> Sqlast.Ast.stmt list

@@ -1,0 +1,213 @@
+open Sqlval
+module A = Sqlast.Ast
+
+let ( let* ) = Result.bind
+
+type t = {
+  query : A.select;
+  expected_row : Value.t list;
+  raw_truths : Tvl.t list;
+}
+
+let synthesize ?(rectify = true) ?(target = Tvl.True) ~rng ~dialect ~pivot
+    ~case_sensitive_like ~max_depth ~check_expressions () =
+  (* derived-table wrapping (FROM (SELECT * FROM t) AS t): the subquery's
+     columns are untyped and binary-collated, so the pivot's column
+     metadata must be degraded identically for the oracle *)
+  let wrapped =
+    List.map (fun (ti, _) -> (ti.Schema_info.ti_name, Rng.chance rng 0.12)) pivot
+  in
+  let is_wrapped name =
+    match List.assoc_opt name wrapped with Some b -> b | None -> false
+  in
+  let degrade (ti : Schema_info.table_info) =
+    if not (is_wrapped ti.Schema_info.ti_name) then ti
+    else
+      {
+        ti with
+        Schema_info.ti_columns =
+          List.map
+            (fun (c : Schema_info.column_info) ->
+              {
+                c with
+                Schema_info.ci_type = Sqlval.Datatype.Any;
+                ci_collation = Sqlval.Collation.Binary;
+              })
+            ti.Schema_info.ti_columns;
+      }
+  in
+  let pivot = List.map (fun (ti, row) -> (degrade ti, row)) pivot in
+  let from_of (ti : Schema_info.table_info) : A.from_item =
+    if is_wrapped ti.Schema_info.ti_name then
+      A.F_sub
+        {
+          sub =
+            A.Q_select
+            {
+              A.sel_distinct = false;
+              sel_items = [ A.Star ];
+              sel_from =
+                [ A.F_table { name = ti.Schema_info.ti_name; alias = None } ];
+              sel_where = None;
+              sel_group_by = [];
+              sel_having = None;
+              sel_order_by = [];
+              sel_limit = None;
+              sel_offset = None;
+            };
+          alias = ti.Schema_info.ti_name;
+        }
+    else A.F_table { name = ti.Schema_info.ti_name; alias = None }
+  in
+  let tables = List.map fst pivot in
+  let env = Interp.env_of_pivot ~case_sensitive_like dialect pivot in
+  let pool =
+    List.concat_map (fun (_, row) -> Array.to_list row) pivot
+    |> List.filter (fun v -> not (Sqlval.Value.is_null v))
+  in
+  let gen_ctx = { Gen_expr.rng; dialect; tables; max_depth; pool } in
+  (* one rectified condition for WHERE; with two tables, optionally a second
+     one as a JOIN ON condition *)
+  let truths = ref [] in
+  let one_condition raw =
+    if rectify then
+      let rectifier =
+        match target with
+        | Tvl.False -> Rectify.rectify_to_false
+        | Tvl.True | Tvl.Unknown -> Rectify.rectify
+      in
+      let* c, t = rectifier env raw in
+      truths := t :: !truths;
+      Ok c
+    else
+      (* no-rectification ablation: use the raw condition *)
+      let* t = Interp.eval_tvl env raw in
+      truths := t :: !truths;
+      Ok raw
+  in
+  let condition () =
+    let raw =
+      if Rng.chance rng 0.5 then Gen_expr.simple_predicate gen_ctx
+      else Gen_expr.condition gen_ctx
+    in
+    one_condition raw
+  in
+  (* WHERE is an AND of one to three rectified conjuncts: each conjunct is
+     TRUE for the pivot, hence so is the conjunction, and bare conjuncts
+     are what the planner's index paths key on *)
+  let* where =
+    let n = Rng.pick_weighted rng [ (4, 1); (3, 2); (1, 3) ] in
+    let rec build acc k =
+      if k = 0 then Ok acc
+      else
+        let* c = condition () in
+        build (A.Binary (A.And, acc, c)) (k - 1)
+    in
+    let* first = condition () in
+    build first (n - 1)
+  in
+  let* from, where =
+    match tables with
+    | [ t0 ] -> Ok ([ from_of t0 ], where)
+    | [ t0; t1 ] ->
+        if Rng.chance rng 0.4 then
+          (* explicit JOIN with a rectified ON *)
+          let* on = condition () in
+          let kind = if Rng.chance rng 0.2 then A.Left else A.Inner in
+          Ok
+            ( [
+                A.F_join
+                  { kind; left = from_of t0; right = from_of t1; on = Some on };
+              ],
+              where )
+        else Ok ([ from_of t0; from_of t1 ], where)
+    | ts -> Ok (List.map from_of ts, where)
+  in
+  (* targets: every column of every pivot table, qualified; with the
+     expressions-on-columns extension some targets become scalar
+     expressions evaluated by the oracle *)
+  let column_targets =
+    List.concat_map
+      (fun ((ti : Schema_info.table_info), values) ->
+        List.mapi
+          (fun i (c : Schema_info.column_info) ->
+            ( A.Col
+                {
+                  table = Some ti.Schema_info.ti_name;
+                  column = c.Schema_info.ci_name;
+                },
+              values.(i) ))
+          ti.Schema_info.ti_columns)
+      pivot
+  in
+  let* targets =
+    if check_expressions && column_targets <> [] && Rng.chance rng 0.5 then begin
+      (* replace a random target with a scalar expression *)
+      let n = List.length column_targets in
+      let k = Rng.int rng n in
+      let rec build i acc = function
+        | [] -> Ok (List.rev acc)
+        | (col, v) :: rest ->
+            if i = k then
+              let e = Gen_expr.scalar gen_ctx in
+              let* ev = Interp.eval env e in
+              build (i + 1) ((e, ev) :: acc) rest
+            else build (i + 1) ((col, v) :: acc) rest
+      in
+      build 0 [] column_targets
+    end
+    else Ok column_targets
+  in
+  let* () = if targets = [] then Error "no columns to select" else Ok () in
+  (* single-row aggregate testing (paper Section 3.2: aggregates can be
+     partially tested when only a single row is present) *)
+  let* targets =
+    match pivot with
+    | [ (ti, _) ]
+      when ti.Schema_info.ti_row_count = 1 && Rng.chance rng 0.25 ->
+        let scalar_e = Gen_expr.scalar gen_ctx in
+        let* v = Interp.eval env scalar_e in
+        let agg =
+          Rng.pick rng [ Sqlast.Ast.A_min; Sqlast.Ast.A_max ]
+        in
+        Ok (targets @ [ (A.Agg (agg, Some scalar_e), v) ])
+    | _ -> Ok targets
+  in
+  (* GROUP BY over all selected plain columns: every distinct row is its
+     own group, so the pivot row must still be contained (the Listing 15
+     shape) *)
+  let group_by =
+    let all_plain_cols =
+      List.for_all
+        (fun (e, _) -> match e with A.Col _ -> true | _ -> false)
+        targets
+    in
+    if all_plain_cols && List.length pivot = 1 && Rng.chance rng 0.3 then
+      List.map fst targets
+    else []
+  in
+  let order_by =
+    if Rng.chance rng 0.3 then
+      let e, _ = Rng.pick rng targets in
+      [ (e, if Rng.bool rng then A.Asc else A.Desc) ]
+    else []
+  in
+  let query =
+    {
+      A.sel_distinct = Rng.chance rng 0.4;
+      sel_items = List.map (fun (e, _) -> A.Sel_expr (e, None)) targets;
+      sel_from = from;
+      sel_where = Some where;
+      sel_group_by = group_by;
+      sel_having = None;
+      sel_order_by = order_by;
+      sel_limit = None;
+      sel_offset = None;
+    }
+  in
+  Ok { query; expected_row = List.map snd targets; raw_truths = !truths }
+
+let containment_stmt t =
+  let values_row = List.map (fun v -> A.Lit v) t.expected_row in
+  A.Select_stmt
+    (A.Q_compound (A.Intersect, A.Q_values [ values_row ], A.Q_select t.query))

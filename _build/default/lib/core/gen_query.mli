@@ -1,0 +1,42 @@
+(** Targeted query synthesis (paper step 5) and the containment check
+    (steps 6–7).
+
+    The rectified conditions go into WHERE and/or JOIN clauses of an
+    otherwise random SELECT over the pivot tables; random "appropriate
+    keywords" (DISTINCT, ORDER BY) are added.  Containment is checked the
+    way the paper describes: the query is wrapped as
+    [SELECT <pivot values> INTERSECT <query>], which returns a row iff the
+    pivot row is contained. *)
+
+open Sqlval
+
+type t = {
+  query : Sqlast.Ast.select;  (** the synthesized SELECT *)
+  expected_row : Value.t list;
+      (** the pivot's values for the selected targets *)
+  raw_truths : Tvl.t list;
+      (** truth values of the raw conditions before rectification *)
+}
+
+(** Synthesize a query over the pivot tables whose result set must contain
+    [expected_row] (or, with [~target:False] — the paper's Section 7
+    future-work variant — must NOT contain it).  [check_expressions] enables the expressions-on-columns
+    extension (paper Section 3.4): targets may be scalar expressions whose
+    expected values the oracle interpreter computes.  Fails when the
+    interpreter cannot evaluate a generated expression (the caller retries
+    with a fresh expression). *)
+val synthesize :
+  ?rectify:bool ->
+  ?target:Tvl.t ->
+  rng:Rng.t ->
+  dialect:Dialect.t ->
+  pivot:(Schema_info.table_info * Value.t array) list ->
+  case_sensitive_like:bool ->
+  max_depth:int ->
+  check_expressions:bool ->
+  unit ->
+  (t, string) result
+
+(** The single-statement containment check:
+    [VALUES (expected) INTERSECT query]. *)
+val containment_stmt : t -> Sqlast.Ast.stmt

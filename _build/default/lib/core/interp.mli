@@ -1,0 +1,39 @@
+(** The PQS oracle interpreter (paper Section 3.2, Algorithm 2).
+
+    Evaluates a randomly generated expression against the pivot row,
+    substituting column references by the pivot's values.  This is the
+    ground truth the containment oracle relies on: it implements the
+    *correct* dialect semantics, carries no bug injections, and shares no
+    evaluation code with {!Engine.Eval} (only the leaf value primitives of
+    [sqlval]).  A property test asserts agreement with the engine when the
+    engine's bug set is empty.
+
+    As the paper notes, the interpreter is deliberately naive — it operates
+    on single literals, so neither query planning nor performance matter. *)
+
+open Sqlval
+
+type binding = {
+  b_value : Value.t;
+  b_type : Datatype.t;
+  b_collation : Collation.t;
+}
+
+type env = {
+  dialect : Dialect.t;
+  case_sensitive_like : bool;
+  lookup : table:string option -> column:string -> (binding, string) result;
+}
+
+val const_env : ?case_sensitive_like:bool -> Dialect.t -> env
+
+(** Environment over one pivot row per table: unqualified columns resolve
+    across all tables (ambiguity is an error, as in SQL). *)
+val env_of_pivot :
+  ?case_sensitive_like:bool ->
+  Dialect.t ->
+  (Schema_info.table_info * Value.t array) list ->
+  env
+
+val eval : env -> Sqlast.Ast.expr -> (Value.t, string) result
+val eval_tvl : env -> Sqlast.Ast.expr -> (Tvl.t, string) result

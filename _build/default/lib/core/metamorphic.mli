@@ -1,0 +1,45 @@
+(** Metamorphic aggregate testing (the paper's Section 7 future work:
+    "aggregate functions ... could be tested by defining metamorphic
+    relations based on set operations").
+
+    For a random condition [p] over a table [t], three-valued logic
+    partitions the rows into exactly three sets — [WHERE p], [WHERE NOT p]
+    and [WHERE p IS NULL] — so for any aggregate the whole-table result
+    must be reconstructible from the partitions:
+
+    - count-star over [t] = sum of the three partition counts,
+    - [MIN(c)]   over [t]  =  least of the non-NULL partition minima,
+    - [MAX(c)]   symmetrically.
+
+    No oracle interpreter is needed: the engine is checked against itself,
+    which also covers multi-row behaviour that PQS's single-pivot oracle
+    cannot reach.  Any defect that makes a filtered scan lose or duplicate
+    rows (index corruption, unsound planner pruning) breaks the relation. *)
+
+type verdict =
+  | Consistent
+  | Inconsistent of string  (** description of the violated relation *)
+  | Skipped  (** a sub-query failed with an expected error *)
+
+(** One metamorphic check of a random condition against one table. *)
+val check :
+  Engine.Session.t ->
+  rng:Rng.t ->
+  table:Schema_info.table_info ->
+  verdict
+
+type stats = {
+  mutable checks : int;
+  mutable skipped : int;
+  mutable findings : (string * Sqlast.Ast.stmt list) list;
+      (** violated relation + the statements leading to it *)
+}
+
+(** Generate random databases and run metamorphic aggregate checks, like
+    {!Runner.run} does for containment checks. *)
+val run :
+  ?seed:int ->
+  ?bugs:Engine.Bug.set ->
+  max_checks:int ->
+  Sqlval.Dialect.t ->
+  stats

@@ -1,0 +1,30 @@
+open Sqlval
+module A = Sqlast.Ast
+
+let ( let* ) = Result.bind
+
+let rectify env (e : A.expr) =
+  let* t = Interp.eval_tvl env e in
+  let rectified =
+    match t with
+    | Tvl.True -> e
+    | Tvl.False -> A.Unary (A.Not, e)
+    | Tvl.Unknown -> A.Is { negated = false; arg = e; rhs = A.Is_null }
+  in
+  (* the oracle double-checks its own output: the rectified expression must
+     evaluate to TRUE *)
+  let* check = Interp.eval_tvl env rectified in
+  if Tvl.equal check Tvl.True then Ok (rectified, t)
+  else Error "rectification postcondition failed"
+
+let rectify_to_false env (e : A.expr) =
+  let* t = Interp.eval_tvl env e in
+  let rectified =
+    match t with
+    | Tvl.False -> e
+    | Tvl.True -> A.Unary (A.Not, e)
+    | Tvl.Unknown -> A.Is { negated = true; arg = e; rhs = A.Is_null }
+  in
+  let* check = Interp.eval_tvl env rectified in
+  if Tvl.equal check Tvl.False then Ok (rectified, t)
+  else Error "rectification postcondition failed"

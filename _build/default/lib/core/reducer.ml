@@ -1,0 +1,173 @@
+module A = Sqlast.Ast
+
+type check = A.stmt list -> bool
+
+type replay_outcome = {
+  crashed : bool;
+  unexpected_error : bool;
+  final_select_rows : int option;
+      (* None when the final statement is not a row-returning SELECT or it
+         errored *)
+  any_error_message : string option;
+}
+
+let replay ~dialect ~bugs (stmts : A.stmt list) : replay_outcome =
+  let session = Engine.Session.create ~bugs dialect in
+  let crashed = ref false in
+  let unexpected = ref false in
+  let last_rows = ref None in
+  let err_msg = ref None in
+  let n = List.length stmts in
+  (try
+     List.iteri
+       (fun i stmt ->
+         if not !crashed then
+           match Engine.Session.execute session stmt with
+           | Ok (Engine.Session.Rows rs) ->
+               if i = n - 1 then
+                 last_rows := Some (List.length rs.Engine.Executor.rs_rows)
+           | Ok _ -> ()
+           | Error e ->
+               if not (Expected_errors.is_expected dialect stmt e) then begin
+                 unexpected := true;
+                 if !err_msg = None then err_msg := Some (Engine.Errors.show e)
+               end)
+       stmts
+   with Engine.Errors.Crash msg ->
+     crashed := true;
+     err_msg := Some msg);
+  {
+    crashed = !crashed;
+    unexpected_error = !unexpected;
+    final_select_rows = !last_rows;
+    any_error_message = !err_msg;
+  }
+
+let manifestation_check ~dialect ~bugs ~oracle : check =
+ fun stmts ->
+  match oracle with
+  | Bug_report.Crash -> (replay ~dialect ~bugs stmts).crashed
+  | Bug_report.Error_oracle ->
+      let o = replay ~dialect ~bugs stmts in
+      o.unexpected_error && not o.crashed
+  | Bug_report.Containment -> (
+      let buggy = replay ~dialect ~bugs stmts in
+      match buggy.final_select_rows with
+      | Some 0 -> (
+          (* ground truth: a correct engine must fetch the pivot row *)
+          let correct = replay ~dialect ~bugs:Engine.Bug.empty_set stmts in
+          match correct.final_select_rows with
+          | Some n when n > 0 -> true
+          | _ -> false)
+      | _ -> false)
+  | Bug_report.Non_containment -> (
+      (* inverted: the buggy engine fetches a row the correct one must
+         not *)
+      let buggy = replay ~dialect ~bugs stmts in
+      match buggy.final_select_rows with
+      | Some n when n > 0 -> (
+          let correct = replay ~dialect ~bugs:Engine.Bug.empty_set stmts in
+          match correct.final_select_rows with
+          | Some 0 -> true
+          | _ -> false)
+      | _ -> false)
+
+(* one pass of greedy single-statement deletion; [keep_last] protects the
+   detecting query *)
+let drop_pass check stmts =
+  let n = List.length stmts in
+  let rec go i current =
+    if i >= List.length current - 1 then current
+    else
+      let candidate = List.filteri (fun j _ -> j <> i) current in
+      if List.length candidate < List.length current && check candidate then
+        go i candidate
+      else go (i + 1) current
+  in
+  ignore n;
+  go 0 stmts
+
+(* trim multi-row INSERTs row by row *)
+let trim_inserts check stmts =
+  let try_trim i stmt current =
+    match stmt with
+    | A.Insert ({ rows; _ } as ins) when List.length rows > 1 ->
+        let rec shrink rows_left =
+          if List.length rows_left <= 1 then rows_left
+          else
+            let candidate_rows =
+              List.filteri (fun j _ -> j <> 0) rows_left
+            in
+            let candidate =
+              List.mapi
+                (fun j s ->
+                  if j = i then A.Insert { ins with rows = candidate_rows }
+                  else s)
+                current
+            in
+            if check candidate then shrink candidate_rows else rows_left
+        in
+        let final_rows = shrink rows in
+        List.mapi
+          (fun j s ->
+            if j = i then A.Insert { ins with rows = final_rows } else s)
+          current
+    | _ -> current
+  in
+  List.fold_left
+    (fun current i -> try_trim i (List.nth current i) current)
+    stmts
+    (List.init (List.length stmts) (fun i -> i))
+
+(* strip decorations from the final SELECT *)
+let simplify_final check stmts =
+  match List.rev stmts with
+  | A.Select_stmt q :: rest_rev -> (
+      let with_final q' = List.rev (A.Select_stmt q' :: rest_rev) in
+      let try_variant q' current =
+        let candidate = with_final q' in
+        if check candidate then candidate else current
+      in
+      match q with
+      | A.Q_compound (op, lhs, A.Q_select sel) ->
+          let current = stmts in
+          let current =
+            if sel.A.sel_order_by <> [] then
+              try_variant
+                (A.Q_compound (op, lhs, A.Q_select { sel with A.sel_order_by = [] }))
+                current
+            else current
+          in
+          (* re-extract the (possibly simplified) select *)
+          let sel' =
+            match List.rev current with
+            | A.Select_stmt (A.Q_compound (_, _, A.Q_select s)) :: _ -> s
+            | _ -> sel
+          in
+          if sel'.A.sel_distinct then
+            try_variant
+              (A.Q_compound (op, lhs, A.Q_select { sel' with A.sel_distinct = false }))
+              current
+          else current
+      | _ -> stmts)
+  | _ -> stmts
+
+let reduce check stmts =
+  if not (check stmts) then stmts
+  else begin
+    let rec fixpoint current =
+      let next = drop_pass check current in
+      if List.length next < List.length current then fixpoint next else next
+    in
+    let reduced = fixpoint stmts in
+    let reduced = trim_inserts check reduced in
+    simplify_final check reduced
+  end
+
+let reduce_report (report : Bug_report.t) ~bugs =
+  let check =
+    manifestation_check ~dialect:report.Bug_report.dialect ~bugs
+      ~oracle:report.Bug_report.oracle
+  in
+  let reduced = reduce check report.Bug_report.statements in
+  { report with Bug_report.reduced = Some reduced }

@@ -1,0 +1,407 @@
+open Sqlval
+module A = Sqlast.Ast
+
+type config = {
+  dialect : Dialect.t;
+  bugs : Engine.Bug.set;
+  seed : int;
+  table_count : int;
+  max_rows : int;
+  extra_statements : int;
+  pivots_per_db : int;
+  queries_per_pivot : int;
+  max_depth : int;
+  check_expressions : bool;
+  verify_ground_truth : bool;
+  rectify : bool;
+  coverage : Engine.Coverage.t option;
+  check_non_containment : bool;
+}
+
+let default_config ?(seed = 1) ?(bugs = Engine.Bug.empty_set) dialect =
+  {
+    dialect;
+    bugs;
+    seed;
+    table_count = 2;
+    max_rows = 6;
+    extra_statements = 8;
+    pivots_per_db = 4;
+    queries_per_pivot = 6;
+    max_depth = 4;
+    check_expressions = true;
+    verify_ground_truth = true;
+    rectify = true;
+    coverage = None;
+    check_non_containment = true;
+  }
+
+type stats = {
+  mutable databases : int;
+  mutable pivots : int;
+  mutable queries : int;
+  mutable statements : int;
+  mutable interp_failures : int;
+  mutable false_positives : int;
+  mutable reports : Bug_report.t list;
+  mutable truth_values : (Tvl.t * int) list;
+  mutable negative_checks : int;
+}
+
+let empty_stats () =
+  {
+    databases = 0;
+    pivots = 0;
+    queries = 0;
+    statements = 0;
+    interp_failures = 0;
+    false_positives = 0;
+    reports = [];
+    truth_values = [ (Tvl.True, 0); (Tvl.False, 0); (Tvl.Unknown, 0) ];
+    negative_checks = 0;
+  }
+
+let bump_truth stats t =
+  stats.truth_values <-
+    List.map
+      (fun (t', n) -> if Tvl.equal t t' then (t', n + 1) else (t', n))
+      stats.truth_values
+
+(* replay a script on a correct engine and report whether the final SELECT
+   returns at least one row without error *)
+let correct_engine_fetches dialect stmts =
+  let session = Engine.Session.create ~bugs:Engine.Bug.empty_set dialect in
+  let n = List.length stmts in
+  let fetched = ref false in
+  (try
+     List.iteri
+       (fun i stmt ->
+         match Engine.Session.execute session stmt with
+         | Ok (Engine.Session.Rows rs) ->
+             if i = n - 1 then
+               fetched := rs.Engine.Executor.rs_rows <> []
+         | Ok _ | Error _ -> ())
+       stmts
+   with Engine.Errors.Crash _ -> ());
+  !fetched
+
+(* inverse ground truth for the non-containment variant: on a correct
+   engine the final SELECT must return no row *)
+let correct_engine_misses dialect stmts =
+  let session = Engine.Session.create ~bugs:Engine.Bug.empty_set dialect in
+  let n = List.length stmts in
+  let empty = ref false in
+  (try
+     List.iteri
+       (fun i stmt ->
+         match Engine.Session.execute session stmt with
+         | Ok (Engine.Session.Rows rs) ->
+             if i = n - 1 then empty := rs.Engine.Executor.rs_rows = []
+         | Ok _ | Error _ -> ())
+       stmts
+   with Engine.Errors.Crash _ -> ());
+  !empty
+
+let run_database_round config stats : Bug_report.t option =
+  let db_seed = config.seed + (stats.databases * 7919) in
+  stats.databases <- stats.databases + 1;
+  let rng = Rng.make ~seed:db_seed in
+  let session =
+    Engine.Session.create ~seed:db_seed ~bugs:config.bugs
+      ?coverage:config.coverage config.dialect
+  in
+  let log = ref [] in
+  let finding = ref None in
+  let report oracle message =
+    let r =
+      {
+        Bug_report.dialect = config.dialect;
+        oracle;
+        message;
+        statements = List.rev !log;
+        reduced = None;
+        seed = db_seed;
+      }
+    in
+    stats.reports <- r :: stats.reports;
+    if !finding = None then finding := Some r;
+    Some r
+  in
+  (* execute one statement under the error and crash oracles; returns a
+     report if one fired *)
+  let exec stmt : Bug_report.t option =
+    log := stmt :: !log;
+    stats.statements <- stats.statements + 1;
+    match Engine.Session.execute session stmt with
+    | Ok _ -> None
+    | Error e ->
+        if Expected_errors.is_expected config.dialect stmt e then None
+        else report Bug_report.Error_oracle (Engine.Errors.show e)
+    | exception Engine.Errors.Crash msg -> report Bug_report.Crash msg
+  in
+  let rec exec_all = function
+    | [] -> None
+    | stmt :: rest -> (
+        match exec stmt with Some r -> Some r | None -> exec_all rest)
+  in
+  let gen_cfg =
+    {
+      Gen_db.rng;
+      dialect = config.dialect;
+      table_count = config.table_count;
+      max_columns = 3;
+      min_rows = 1;
+      max_rows = config.max_rows;
+      extra_statements = config.extra_statements;
+    }
+  in
+  (* ---- step 1: random database ---- *)
+  let generation () =
+    match exec_all (Gen_db.initial_statements gen_cfg) with
+    | Some r -> Some r
+    | None -> (
+        (* initial data *)
+        let fills =
+          Schema_info.tables_of_session session
+          |> List.concat_map (fun (ti : Schema_info.table_info) ->
+                 List.init
+                   (Rng.int_in rng 1 (max 1 (config.max_rows / 2)))
+                   (fun _ ->
+                     Gen_db.insert_stmt
+                       ~existing_rows:
+                         (Schema_info.rows_of_table session
+                            ti.Schema_info.ti_name)
+                       gen_cfg ti))
+        in
+        match exec_all fills with
+        | Some r -> Some r
+        | None ->
+            let rec extra n =
+              if n <= 0 then None
+              else
+                match exec_all (Gen_db.random_statements gen_cfg session) with
+                | Some r -> Some r
+                | None -> extra (n - 1)
+            in
+            let r = extra config.extra_statements in
+            (match r with
+            | Some _ -> r
+            | None -> exec_all (Gen_db.fill_statements gen_cfg session)))
+  in
+  match generation () with
+  | Some r -> Some r
+  | None -> (
+      (* ---- steps 2-7 ---- *)
+      let pivot_rounds () =
+        let pivot_sources () =
+          let tables =
+            Schema_info.tables_of_session session
+            |> List.filter_map (fun (ti : Schema_info.table_info) ->
+                   match
+                     Schema_info.rows_of_table session ti.Schema_info.ti_name
+                   with
+                   | [] -> None
+                   | rows ->
+                       (* the scan count (incl. inherited rows) is what the
+                          single-row aggregate extension keys on *)
+                       Some
+                         ( {
+                             ti with
+                             Schema_info.ti_row_count = List.length rows;
+                           },
+                           rows ))
+          in
+          (* views join the candidate pool occasionally (paper Sec. 4.2) *)
+          let views =
+            Schema_info.view_pivot_sources session
+            |> List.filter (fun (_, rows) -> rows <> [])
+          in
+          if views <> [] && Rng.chance rng 0.25 then tables @ views else tables
+        in
+        let rec pivots k =
+          if k <= 0 then None
+          else
+            match pivot_sources () with
+            | [] -> None
+            | sources -> (
+                stats.pivots <- stats.pivots + 1;
+                (* step 2: one random row per chosen table/view *)
+                let chosen =
+                  let k =
+                    if List.length sources >= 2 && Rng.bool rng then 2 else 1
+                  in
+                  Rng.sample rng k sources
+                in
+                let pivot =
+                  List.map
+                    (fun ((ti : Schema_info.table_info), rows) ->
+                      (ti, Rng.pick rng rows))
+                    chosen
+                in
+                let csl =
+                  Engine.Options.case_sensitive_like
+                    (Engine.Session.options session)
+                in
+                let rec queries q =
+                  if q <= 0 then None
+                  else
+                    (* Section 7 extension: occasionally rectify to FALSE and
+                       require the pivot row to be absent.  Restricted to
+                       single-table pivots: with joins, a LEFT JOIN's
+                       NULL-extended rows could coincide with the expected
+                       tuple. *)
+                    let negative =
+                      config.check_non_containment
+                      && List.length pivot = 1
+                      && Rng.chance rng 0.2
+                    in
+                    let target = if negative then Tvl.False else Tvl.True in
+                    (* steps 3-5 with retries on oracle-uncomputable exprs *)
+                    let rec attempt tries =
+                      if tries <= 0 then None
+                      else
+                        match
+                          Gen_query.synthesize ~rectify:config.rectify ~target
+                            ~rng ~dialect:config.dialect ~pivot
+                            ~case_sensitive_like:csl
+                            ~max_depth:config.max_depth
+                              (* expression targets are unsound for the
+                                 negative variant: a different row may
+                                 project to the same value *)
+                            ~check_expressions:
+                              (config.check_expressions && not negative)
+                            ()
+                        with
+                        | Ok t ->
+                            List.iter (bump_truth stats) t.Gen_query.raw_truths;
+                            Some t
+                        | Error _ ->
+                            stats.interp_failures <- stats.interp_failures + 1;
+                            attempt (tries - 1)
+                    in
+                    match attempt 5 with
+                    | None -> queries (q - 1)
+                    | Some t -> (
+                        stats.queries <- stats.queries + 1;
+                        if negative then
+                          stats.negative_checks <- stats.negative_checks + 1;
+                        let stmt = Gen_query.containment_stmt t in
+                        log := stmt :: !log;
+                        stats.statements <- stats.statements + 1;
+                        match Engine.Session.execute session stmt with
+                        | Ok (Engine.Session.Rows rs) ->
+                            let empty = rs.Engine.Executor.rs_rows = [] in
+                            let violation =
+                              if negative then not empty else empty
+                            in
+                            if violation then begin
+                              let confirmed =
+                                (not config.verify_ground_truth)
+                                ||
+                                if negative then
+                                  correct_engine_misses config.dialect
+                                    (List.rev !log)
+                                else
+                                  correct_engine_fetches config.dialect
+                                    (List.rev !log)
+                              in
+                              if confirmed then
+                                report
+                                  (if negative then Bug_report.Non_containment
+                                   else Bug_report.Containment)
+                                  (if negative then
+                                     "pivot row unexpectedly contained in \
+                                      result set"
+                                   else "pivot row not contained in result set")
+                              else begin
+                                stats.false_positives <-
+                                  stats.false_positives + 1;
+                                (* drop the offending query from the log *)
+                                log := List.tl !log;
+                                queries (q - 1)
+                              end
+                            end
+                            else begin
+                              (* check passed: drop it from the log to keep
+                                 reproduction scripts small *)
+                              log := List.tl !log;
+                              queries (q - 1)
+                            end
+                        | Ok _ ->
+                            log := List.tl !log;
+                            queries (q - 1)
+                        | Error e ->
+                            if
+                              Expected_errors.is_expected config.dialect stmt e
+                            then begin
+                              log := List.tl !log;
+                              queries (q - 1)
+                            end
+                            else
+                              report Bug_report.Error_oracle
+                                (Engine.Errors.show e)
+                        | exception Engine.Errors.Crash msg ->
+                            report Bug_report.Crash msg)
+                in
+                match queries config.queries_per_pivot with
+                | Some r -> Some r
+                | None -> pivots (k - 1))
+        in
+        pivots config.pivots_per_db
+      in
+      match pivot_rounds () with Some r -> Some r | None -> None)
+
+let run ?(stop_on_first = false) ~max_queries config =
+  let stats = empty_stats () in
+  (* databases are also capped so rounds that never reach the query stage
+     (e.g. generation keeps erroring) terminate *)
+  let max_databases = max 50 max_queries in
+  let rec go () =
+    if stats.queries >= max_queries || stats.databases >= max_databases then
+      stats
+    else
+      match run_database_round config stats with
+      | Some _ when stop_on_first -> stats
+      | _ -> go ()
+  in
+  go ()
+
+let hunt config ~max_queries =
+  let stats = run ~stop_on_first:true ~max_queries config in
+  match List.rev stats.reports with r :: _ -> Some r | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parallel hunting (paper Section 3.4: one worker per database)       *)
+
+let merge_stats dst src =
+  dst.databases <- dst.databases + src.databases;
+  dst.pivots <- dst.pivots + src.pivots;
+  dst.queries <- dst.queries + src.queries;
+  dst.statements <- dst.statements + src.statements;
+  dst.interp_failures <- dst.interp_failures + src.interp_failures;
+  dst.false_positives <- dst.false_positives + src.false_positives;
+  dst.reports <- src.reports @ dst.reports;
+  dst.negative_checks <- dst.negative_checks + src.negative_checks;
+  dst.truth_values <-
+    List.map
+      (fun (t, n) ->
+        let m =
+          match List.assoc_opt t src.truth_values with Some m -> m | None -> 0
+        in
+        (t, n + m))
+      dst.truth_values
+
+let run_parallel ?(stop_on_first = false) ~workers ~max_queries config =
+  let workers = max 1 workers in
+  let per_worker = max 1 (max_queries / workers) in
+  let domains =
+    List.init workers (fun i ->
+        Domain.spawn (fun () ->
+            (* each worker gets its own seed stream and databases, like the
+               paper's thread-per-database parallelization *)
+            let config = { config with seed = config.seed + (i * 104729) } in
+            run ~stop_on_first ~max_queries:per_worker config))
+  in
+  let total = empty_stats () in
+  List.iter (fun d -> merge_stats total (Domain.join d)) domains;
+  total

@@ -1,0 +1,74 @@
+(** The PQS main loop (paper Figure 1).
+
+    Each database round: generate a random database (step 1), then for a
+    number of pivot choices (step 2) synthesize rectified queries (steps
+    3–5), run them on the engine (step 6) and check containment (step 7).
+    The error oracle watches every executed statement; the crash oracle
+    catches the simulated SEGFAULTs.  Workers on distinct databases are
+    just independent [run] calls with distinct seeds (paper Section 3.4's
+    thread-per-database parallelization). *)
+
+type config = {
+  dialect : Sqlval.Dialect.t;
+  bugs : Engine.Bug.set;
+  seed : int;
+  table_count : int;
+  max_rows : int;
+  extra_statements : int;
+  pivots_per_db : int;
+  queries_per_pivot : int;
+  max_depth : int;  (** expression depth bound (paper Algorithm 1) *)
+  check_expressions : bool;  (** expressions-on-columns extension *)
+  verify_ground_truth : bool;
+      (** replay containment findings on a correct engine before reporting
+          (guards against oracle imprecision; counts as false positive) *)
+  rectify : bool;  (** disable only for the no-rectification ablation *)
+  coverage : Engine.Coverage.t option;
+      (** engine feature-coverage instrumentation (Table 4) *)
+  check_non_containment : bool;
+      (** also issue rectified-to-FALSE queries and require the pivot row to
+          be absent — the paper's Section 7 future-work variant, which
+          additionally catches defects that wrongly *include* rows *)
+}
+
+val default_config :
+  ?seed:int -> ?bugs:Engine.Bug.set -> Sqlval.Dialect.t -> config
+
+type stats = {
+  mutable databases : int;
+  mutable pivots : int;
+  mutable queries : int;
+  mutable statements : int;
+  mutable interp_failures : int;
+      (** expressions the oracle could not evaluate (regenerated) *)
+  mutable false_positives : int;
+      (** containment misses not confirmed by the correct engine *)
+  mutable reports : Bug_report.t list;
+  mutable truth_values : (Sqlval.Tvl.t * int) list;
+      (** distribution of raw condition truth values before rectification *)
+  mutable negative_checks : int;
+      (** how many checks were of the non-containment variant *)
+}
+
+val empty_stats : unit -> stats
+
+(** Run one database round; new findings are appended to [stats.reports].
+    Returns the first finding of the round, if any. *)
+val run_database_round : config -> stats -> Bug_report.t option
+
+(** Run rounds until [max_queries] containment checks were issued or a
+    finding occurred [stop_on_first] (database seeds derive from
+    [config.seed]). *)
+val run :
+  ?stop_on_first:bool -> max_queries:int -> config -> stats
+
+(** Convenience for the evaluation: hunt for the first finding within a
+    query budget. *)
+val hunt : config -> max_queries:int -> Bug_report.t option
+
+(** Parallel variant of {!run}: [workers] domains, each hunting on its own
+    databases with an independent seed stream (the paper's
+    thread-per-database parallelization, Section 3.4).  The query budget is
+    split across workers and the stats are merged. *)
+val run_parallel :
+  ?stop_on_first:bool -> workers:int -> max_queries:int -> config -> stats

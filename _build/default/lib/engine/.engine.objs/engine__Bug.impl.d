@@ -1,0 +1,1 @@
+lib/engine/bug.pp.ml: Array Dialect List Ppx_deriving_runtime Sqlval String

@@ -1,0 +1,1 @@
+lib/engine/bug.pp.mli: Format Sqlval

@@ -1,0 +1,1 @@
+lib/engine/coverage.pp.ml: Hashtbl List Option

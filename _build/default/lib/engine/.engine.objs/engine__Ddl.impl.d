@@ -1,0 +1,1 @@
+lib/engine/ddl.pp.ml: Array Bug Collation Coverage Datatype Dialect Errors Eval Executor List Option Printf Result Sqlast Sqlval Storage String Tvl Value

@@ -1,0 +1,1 @@
+lib/engine/ddl.pp.mli: Errors Eval Executor Sqlast Sqlval Storage

@@ -1,0 +1,1 @@
+lib/engine/dml.pp.ml: Array Bug Coerce Collation Coverage Datatype Ddl Dialect Errors Eval Executor Int64 List Option Options Result Sqlast Sqlval Storage String Tvl Value

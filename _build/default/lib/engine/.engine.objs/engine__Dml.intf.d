@@ -1,0 +1,1 @@
+lib/engine/dml.pp.mli: Errors Executor Sqlast Storage

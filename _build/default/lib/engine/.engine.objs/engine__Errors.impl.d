@@ -1,0 +1,1 @@
+lib/engine/errors.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/engine/eval.pp.ml: Buffer Bug Bytes Char Coerce Collation Coverage Datatype Dialect Errors Float Int64 Like_matcher List Numeric Option Printf Result Sqlast Sqlval Stdlib String Tvl Value

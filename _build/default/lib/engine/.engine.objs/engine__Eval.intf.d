@@ -1,0 +1,1 @@
+lib/engine/eval.pp.mli: Bug Collation Coverage Datatype Dialect Errors Sqlast Sqlval Tvl Value

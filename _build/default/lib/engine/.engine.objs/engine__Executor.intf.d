@@ -1,0 +1,1 @@
+lib/engine/executor.pp.mli: Bug Coverage Dialect Errors Eval Format Options Sqlast Sqlval Storage Value

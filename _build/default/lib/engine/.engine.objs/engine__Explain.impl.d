@@ -1,0 +1,1 @@
+lib/engine/explain.pp.ml: Errors Executor List Planner Printf Sqlast Sqlval Storage

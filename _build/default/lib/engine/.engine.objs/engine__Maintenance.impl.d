@@ -1,0 +1,1 @@
+lib/engine/maintenance.pp.ml: Array Bug Collation Coverage Datatype Ddl Dialect Errors Executor Int64 List Option Options Result Sqlast Sqlval Storage Value

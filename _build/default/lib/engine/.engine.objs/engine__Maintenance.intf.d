@@ -1,0 +1,1 @@
+lib/engine/maintenance.pp.mli: Errors Executor

@@ -1,0 +1,1 @@
+lib/engine/options.pp.ml: Dialect Errors Hashtbl List Sqlval String Value

@@ -1,0 +1,1 @@
+lib/engine/options.pp.mli: Errors Sqlval

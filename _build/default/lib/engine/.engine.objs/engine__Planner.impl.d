@@ -1,0 +1,1 @@
+lib/engine/planner.pp.ml: Array Bug Coerce Collation Coverage Datatype Dialect Eval Format Like_matcher List Sqlast Sqlval Storage String Value

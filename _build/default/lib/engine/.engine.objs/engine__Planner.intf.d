@@ -1,0 +1,1 @@
+lib/engine/planner.pp.mli: Eval Format Sqlast Sqlval Storage Value

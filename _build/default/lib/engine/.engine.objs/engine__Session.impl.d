@@ -1,0 +1,1 @@
+lib/engine/session.pp.ml: Bug Coverage Ddl Dialect Dml Errors Executor Explain Format Maintenance Options Random Result Sqlast Sqlval Storage String

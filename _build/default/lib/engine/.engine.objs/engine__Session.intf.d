@@ -1,0 +1,1 @@
+lib/engine/session.pp.mli: Bug Coverage Dialect Errors Executor Format Options Sqlast Sqlval Storage

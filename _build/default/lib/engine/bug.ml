@@ -1,0 +1,310 @@
+open Sqlval
+
+type t =
+  | Sq_partial_index_implies_not_null
+  | Sq_nocase_unique_pk_collapse
+  | Sq_rtrim_compare_asymmetric
+  | Sq_like_int_affinity_opt
+  | Sq_skip_scan_distinct
+  | Sq_text_int_subtract_real
+  | Sq_is_not_true_null
+  | Sq_partial_index_update_skip
+  | Sq_nocase_like_case_sensitive
+  | Sq_between_collate_ignored
+  | Sq_glob_range_exclusive
+  | Sq_affinity_compare_skip
+  | Sq_desc_index_range
+  | Sq_view_distinct_pushdown
+  | Sq_null_in_list_false
+  | Sq_case_null_when
+  | Sq_or_index_dedup
+  | Sq_vacuum_index_desync
+  | Sq_pragma_like_index_vacuum
+  | Sq_real_pk_or_replace_corrupt
+  | Sq_reindex_rtrim_unique
+  | Sq_alter_rename_expr_index
+  | Sq_blob_pk_without_rowid_corrupt
+  | Sq_vacuum_partial_index_corrupt
+  | Sq_or_replace_two_unique_corrupt
+  | Sq_agg_collate_crash
+  | Sq_intended_pragma_vacuum
+  | Sq_intended_typeof_affinity
+  | Sq_dup_like_opt_nocase
+  | My_memory_join_cast
+  | My_unsigned_cast_signed_compare
+  | My_null_safe_eq_out_of_range
+  | My_text_double_bool_trunc
+  | My_double_negation_fold
+  | My_least_mixed_types
+  | My_set_key_cache_nondet
+  | My_repair_marks_crashed
+  | My_check_table_false_corrupt
+  | My_csv_engine_update_error
+  | My_check_upgrade_expr_index_crash
+  | My_intended_ignore_clamp
+  | My_dup_unsigned_compare
+  | My_dup_memory_join
+  | Pg_inherit_group_by_dedup
+  | Pg_stats_expr_index_bitmapset
+  | Pg_index_null_value_error
+  | Pg_reindex_deadlock
+  | Pg_stats_analyze_crash
+  | Pg_intended_vacuum_overflow
+  | Pg_intended_vacuum_full_deadlock
+  | Pg_intended_bool_cast_error
+  | Pg_dup_bitmapset_crash
+  | Pg_dup_index_null_error
+[@@deriving show { with_path = false }, eq, enum]
+
+let all =
+  let rec build i acc =
+    if i < min then acc
+    else
+      match of_enum i with
+      | Some b -> build (i - 1) (b :: acc)
+      | None -> build (i - 1) acc
+  in
+  build max []
+
+type oracle_class = O_containment | O_error | O_crash
+[@@deriving show { with_path = false }, eq]
+
+type status = Fixed | Verified | Intended | Duplicate
+[@@deriving show { with_path = false }, eq]
+
+type info = {
+  dialect : Dialect.t;
+  oracle : oracle_class;
+  status : status;
+  paper_ref : string;
+  summary : string;
+}
+
+let sq = Dialect.Sqlite_like
+let my = Dialect.Mysql_like
+let pg = Dialect.Postgres_like
+
+let mk dialect oracle status paper_ref summary =
+  { dialect; oracle; status; paper_ref; summary }
+
+let info = function
+  | Sq_partial_index_implies_not_null ->
+      mk sq O_containment Fixed "Listing 1"
+        "planner assumes `c IS NOT x` implies `c NOT NULL` and uses a \
+         partial index, dropping the NULL pivot row"
+  | Sq_nocase_unique_pk_collapse ->
+      mk sq O_containment Fixed "Listing 4"
+        "WITHOUT ROWID primary key probes fold case when a NOCASE index \
+         exists on the column, collapsing 'A' and 'a'"
+  | Sq_rtrim_compare_asymmetric ->
+      mk sq O_containment Fixed "Listing 5"
+        "RTRIM collation trims only the left comparison operand"
+  | Sq_like_int_affinity_opt ->
+      mk sq O_containment Fixed "Listing 7"
+        "LIKE optimization on an INTEGER-affinity column compares the \
+         numeric prefix instead of the text"
+  | Sq_skip_scan_distinct ->
+      mk sq O_containment Fixed "Listing 6"
+        "skip-scan under DISTINCT after ANALYZE deduplicates by the first \
+         index column only"
+  | Sq_text_int_subtract_real ->
+      mk sq O_containment Fixed "Listing 2"
+        "TEXT minus INTEGER routed through double precision, losing \
+         low-order bits of large integers"
+  | Sq_is_not_true_null ->
+      mk sq O_containment Fixed "Sec. 1 (IS NOT semantics)"
+        "`x IS NOT TRUE` yields FALSE for NULL operands instead of TRUE"
+  | Sq_partial_index_update_skip ->
+      mk sq O_containment Fixed "Sec. 4.4 (index bugs)"
+        "UPDATE does not re-evaluate partial-index membership, leaving \
+         stale entries that index scans trust"
+  | Sq_nocase_like_case_sensitive ->
+      mk sq O_containment Fixed "Sec. 4.4 (COLLATE bugs)"
+        "LIKE on a NOCASE column becomes case sensitive"
+  | Sq_between_collate_ignored ->
+      mk sq O_containment Fixed "Sec. 4.4 (COLLATE bugs)"
+        "BETWEEN ignores the column collation for text bounds"
+  | Sq_glob_range_exclusive ->
+      mk sq O_containment Fixed "Sec. 4.4"
+        "GLOB character classes treat the range upper bound as exclusive"
+  | Sq_affinity_compare_skip ->
+      mk sq O_containment Fixed "Sec. 4.4 (type flexibility)"
+        "comparisons skip applying INTEGER affinity to text operands"
+  | Sq_desc_index_range ->
+      mk sq O_containment Fixed "Sec. 4.4 (index bugs)"
+        "range scans over DESC indexes drop rows for strict bounds"
+  | Sq_view_distinct_pushdown ->
+      mk sq O_containment Fixed "Sec. 4.2 (VIEWs tested)"
+        "WHERE pushdown into a DISTINCT view filters before deduplication"
+  | Sq_null_in_list_false ->
+      mk sq O_containment Fixed "Sec. 3.2 (three-valued logic)"
+        "IN returns FALSE instead of NULL when the list contains NULL and \
+         nothing matches"
+  | Sq_case_null_when ->
+      mk sq O_containment Fixed "Sec. 3.2"
+        "CASE treats a NULL condition as satisfied"
+  | Sq_or_index_dedup ->
+      mk sq O_containment Fixed "Sec. 4.4 (incorrect optimizations)"
+        "OR handled as an index-scan union skips the second branch whenever \
+         the first matched anything"
+  | Sq_vacuum_index_desync ->
+      mk sq O_containment Fixed "Sec. 4.3 (VACUUM error prone)"
+        "VACUUM renumbers rowids without rebuilding indexes, so index scans \
+         resolve to missing rows"
+  | Sq_pragma_like_index_vacuum ->
+      mk sq O_error Fixed "Listing 9"
+        "VACUUM reports 'malformed database schema' when a LIKE expression \
+         index meets a changed case_sensitive_like pragma"
+  | Sq_real_pk_or_replace_corrupt ->
+      mk sq O_error Fixed "Listing 10"
+        "UPDATE OR REPLACE on a REAL primary key corrupts the database \
+         ('database disk image is malformed')"
+  | Sq_reindex_rtrim_unique ->
+      mk sq O_error Fixed "Sec. 4.4 (REINDEX bugs)"
+        "REINDEX rebuilds RTRIM unique keys untrimmed and reports a \
+         spurious 'UNIQUE constraint failed'"
+  | Sq_alter_rename_expr_index ->
+      mk sq O_error Fixed "Listing 8"
+        "ALTER TABLE RENAME COLUMN leaves expression indexes referring to \
+         the old name; the next REINDEX reports a malformed schema"
+  | Sq_blob_pk_without_rowid_corrupt ->
+      mk sq O_error Fixed "Sec. 4.4"
+        "inserting a BLOB key into a WITHOUT ROWID real-affinity primary \
+         key corrupts the database image"
+  | Sq_vacuum_partial_index_corrupt ->
+      mk sq O_error Fixed "Sec. 4.3"
+        "VACUUM with a partial index present corrupts the database image"
+  | Sq_or_replace_two_unique_corrupt ->
+      mk sq O_error Fixed "Sec. 4.4"
+        "OR REPLACE resolving conflicts on two unique indexes at once \
+         corrupts the database image"
+  | Sq_agg_collate_crash ->
+      mk sq O_crash Fixed "Sec. 4.2 (crash bugs)"
+        "MIN/MAX over a COLLATE expression dereferences a stale collation \
+         pointer (simulated SEGFAULT)"
+  | Sq_intended_pragma_vacuum ->
+      mk sq O_error Intended "Listing 9 discussion"
+        "PRAGMA-dependent schema semantics reported as a defect; developers \
+         documented it as a design limitation"
+  | Sq_intended_typeof_affinity ->
+      mk sq O_containment Intended "Sec. 4.2 (intended behaviour)"
+        "TYPEOF after affinity conversion differs from the declared type; \
+         works as documented"
+  | Sq_dup_like_opt_nocase ->
+      mk sq O_containment Duplicate "Sec. 4.4 (4 LIKE bugs)"
+        "second manifestation of the LIKE optimization defect, via NOCASE; \
+         closed as duplicate"
+  | My_memory_join_cast ->
+      mk my O_containment Fixed "Listing 11"
+        "rows of MEMORY-engine tables are skipped in joins whose condition \
+         contains a CAST"
+  | My_unsigned_cast_signed_compare ->
+      mk my O_containment Fixed "Listing 11"
+        "CAST(x AS UNSIGNED) results compare with signed semantics"
+  | My_null_safe_eq_out_of_range ->
+      mk my O_containment Verified "Listing 12"
+        "<=> against a constant exceeding the column type's range yields \
+         NULL instead of FALSE"
+  | My_text_double_bool_trunc ->
+      mk my O_containment Verified "Sec. 4.5 (value range bugs)"
+        "small doubles stored in TEXT evaluate to FALSE in boolean contexts \
+         (truncated to integer)"
+  | My_double_negation_fold ->
+      mk my O_containment Verified "Listing 13"
+        "NOT(NOT x) is folded away although x is not boolean"
+  | My_least_mixed_types ->
+      mk my O_containment Fixed "Sec. 4.5"
+        "LEAST/GREATEST with mixed numeric and text operands compare \
+         lexicographically"
+  | My_set_key_cache_nondet ->
+      mk my O_error Fixed "Listing 3"
+        "SET GLOBAL key_cache_division_limit nondeterministically fails \
+         with 'Incorrect arguments to SET'"
+  | My_repair_marks_crashed ->
+      mk my O_error Fixed "Sec. 4.3 (REPAIR TABLE)"
+        "REPAIR TABLE reports 'Table is marked as crashed' on a healthy \
+         table"
+  | My_check_table_false_corrupt ->
+      mk my O_error Verified "Sec. 4.3 (CHECK TABLE)"
+        "CHECK TABLE reports corruption for tables with NULL-bearing \
+         unique indexes"
+  | My_csv_engine_update_error ->
+      mk my O_error Verified "Sec. 2 (CSV engine)"
+        "UPDATE on a CSV-engine table fails with an internal storage-engine \
+         error"
+  | My_check_upgrade_expr_index_crash ->
+      mk my O_crash Fixed "Listing 14 / CVE-2019-2879"
+        "CHECK TABLE ... FOR UPGRADE crashes when the table has an \
+         expression index"
+  | My_intended_ignore_clamp ->
+      mk my O_error Intended "Sec. 4.5"
+        "INSERT IGNORE clamps out-of-range values with only a warning; \
+         reported, works as intended"
+  | My_dup_unsigned_compare ->
+      mk my O_containment Duplicate "Sec. 4.5 (unsigned bugs)"
+        "second unsigned-comparison manifestation; closed as duplicate"
+  | My_dup_memory_join ->
+      mk my O_containment Duplicate "Sec. 4.5 (engine bugs)"
+        "MEMORY-engine row loss re-reported through IFNULL; duplicate"
+  | Pg_inherit_group_by_dedup ->
+      mk pg O_containment Fixed "Listing 15"
+        "GROUP BY assumes the parent's PRIMARY KEY holds across inherited \
+         tables and merges distinct rows"
+  | Pg_stats_expr_index_bitmapset ->
+      mk pg O_error Fixed "Listing 16"
+        "extended statistics plus an expression index make the planner \
+         fail with 'negative bitmapset member not allowed'"
+  | Pg_index_null_value_error ->
+      mk pg O_error Fixed "Listing 17"
+        "an index built after UPDATE of NULL-bearing rows trips 'found \
+         unexpected null value in index' during comparisons"
+  | Pg_reindex_deadlock ->
+      mk pg O_error Verified "Sec. 4.6"
+        "REINDEX reports 'deadlock detected' without concurrent activity"
+  | Pg_stats_analyze_crash ->
+      mk pg O_crash Verified "Sec. 4.6 (crash duplicates)"
+        "ANALYZE crashes when extended statistics cover a boolean \
+         expression column"
+  | Pg_intended_vacuum_overflow ->
+      mk pg O_error Intended "Listing 18"
+        "VACUUM FULL fails with 'integer out of range' via an expression \
+         index; developers declined to change it"
+  | Pg_intended_vacuum_full_deadlock ->
+      mk pg O_error Intended "Sec. 4.6 (false positives)"
+        "routine VACUUM FULL under load deadlocks; usage discouraged \
+         instead of fixed"
+  | Pg_intended_bool_cast_error ->
+      mk pg O_error Intended "Sec. 5 (strict typing)"
+        "casting malformed text to boolean errors; strictness is intended"
+  | Pg_dup_bitmapset_crash ->
+      mk pg O_crash Duplicate "Sec. 4.6 (Listing 16 duplicates)"
+        "crash with the same 'negative bitmapset member' root cause; \
+         duplicate"
+  | Pg_dup_index_null_error ->
+      mk pg O_error Duplicate "Sec. 4.6"
+        "second trigger of the unexpected-NULL index error; duplicate"
+
+let is_true_bug b =
+  match (info b).status with
+  | Fixed | Verified -> true
+  | Intended | Duplicate -> false
+
+let of_string s =
+  List.find_opt (fun b -> String.lowercase_ascii (show b) = String.lowercase_ascii s) all
+
+let for_dialect d = List.filter (fun b -> Dialect.equal (info b).dialect d) all
+
+type set = bool array (* indexed by to_enum *)
+
+let empty_set : set = Array.make (max + 1) false
+
+let set_of_list bugs =
+  let s = Array.make (max + 1) false in
+  List.iter (fun b -> s.(to_enum b) <- true) bugs;
+  s
+
+let singleton b = set_of_list [ b ]
+let on (s : set) b = s.(to_enum b)
+
+let to_list (s : set) =
+  List.filter (fun b -> s.(to_enum b)) all

@@ -1,0 +1,125 @@
+(** Catalog of injectable defects.
+
+    The paper evaluates PQS by the real bugs it found in SQLite, MySQL and
+    PostgreSQL over three months.  That experiment is not re-runnable, so the
+    reproduction implants a ground-truth catalog of defects into the engine,
+    one per reported bug *class*, each modeled on a concrete finding (the
+    [paper_ref] field cites the paper listing or section it mirrors).  The
+    catalog is scaled down from the paper's 123 reports by a factor of ~2.4
+    while preserving the per-DBMS and per-oracle proportions; EXPERIMENTS.md
+    records the scaling.
+
+    Every bug is independently toggleable; with no bugs enabled the engine is
+    correct (property-tested), so any oracle report under an enabled bug is a
+    true detection of that bug. *)
+
+type t =
+  (* --- sqlite-like: containment-oracle bugs --- *)
+  | Sq_partial_index_implies_not_null
+  | Sq_nocase_unique_pk_collapse
+  | Sq_rtrim_compare_asymmetric
+  | Sq_like_int_affinity_opt
+  | Sq_skip_scan_distinct
+  | Sq_text_int_subtract_real
+  | Sq_is_not_true_null
+  | Sq_partial_index_update_skip
+  | Sq_nocase_like_case_sensitive
+  | Sq_between_collate_ignored
+  | Sq_glob_range_exclusive
+  | Sq_affinity_compare_skip
+  | Sq_desc_index_range
+  | Sq_view_distinct_pushdown
+  | Sq_null_in_list_false
+  | Sq_case_null_when
+  | Sq_or_index_dedup
+  | Sq_vacuum_index_desync
+  (* --- sqlite-like: error-oracle bugs --- *)
+  | Sq_pragma_like_index_vacuum
+  | Sq_real_pk_or_replace_corrupt
+  | Sq_reindex_rtrim_unique
+  | Sq_alter_rename_expr_index
+  | Sq_blob_pk_without_rowid_corrupt
+  | Sq_vacuum_partial_index_corrupt
+  | Sq_or_replace_two_unique_corrupt
+  (* --- sqlite-like: crash --- *)
+  | Sq_agg_collate_crash
+  (* --- sqlite-like: reports closed as intended / duplicate --- *)
+  | Sq_intended_pragma_vacuum
+  | Sq_intended_typeof_affinity
+  | Sq_dup_like_opt_nocase
+  (* --- mysql-like: containment --- *)
+  | My_memory_join_cast
+  | My_unsigned_cast_signed_compare
+  | My_null_safe_eq_out_of_range
+  | My_text_double_bool_trunc
+  | My_double_negation_fold
+  | My_least_mixed_types
+  (* --- mysql-like: error --- *)
+  | My_set_key_cache_nondet
+  | My_repair_marks_crashed
+  | My_check_table_false_corrupt
+  | My_csv_engine_update_error
+  (* --- mysql-like: crash --- *)
+  | My_check_upgrade_expr_index_crash
+  (* --- mysql-like: intended / duplicate --- *)
+  | My_intended_ignore_clamp
+  | My_dup_unsigned_compare
+  | My_dup_memory_join
+  (* --- postgres-like: containment --- *)
+  | Pg_inherit_group_by_dedup
+  (* --- postgres-like: error --- *)
+  | Pg_stats_expr_index_bitmapset
+  | Pg_index_null_value_error
+  | Pg_reindex_deadlock
+  (* --- postgres-like: crash --- *)
+  | Pg_stats_analyze_crash
+  (* --- postgres-like: intended / duplicate --- *)
+  | Pg_intended_vacuum_overflow
+  | Pg_intended_vacuum_full_deadlock
+  | Pg_intended_bool_cast_error
+  | Pg_dup_bitmapset_crash
+  | Pg_dup_index_null_error
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val all : t list
+
+(** Oracle expected to detect the bug (paper Table 3's columns). *)
+type oracle_class = O_containment | O_error | O_crash
+
+val pp_oracle_class : Format.formatter -> oracle_class -> unit
+val show_oracle_class : oracle_class -> string
+val equal_oracle_class : oracle_class -> oracle_class -> bool
+
+(** Report status modeled after paper Table 2's columns. *)
+type status = Fixed | Verified | Intended | Duplicate
+
+val pp_status : Format.formatter -> status -> unit
+val show_status : status -> string
+val equal_status : status -> status -> bool
+
+type info = {
+  dialect : Sqlval.Dialect.t;
+  oracle : oracle_class;
+  status : status;
+  paper_ref : string;  (** paper listing/section the bug class mirrors *)
+  summary : string;
+}
+
+val info : t -> info
+
+(** True bugs resulted in fixes or confirmation (paper: 99 of 123). *)
+val is_true_bug : t -> bool
+
+val of_string : string -> t option
+val for_dialect : Sqlval.Dialect.t -> t list
+
+(** An enabled-bug set, as carried by a session. *)
+type set
+
+val empty_set : set
+val set_of_list : t list -> set
+val singleton : t -> set
+val on : set -> t -> bool
+val to_list : set -> t list

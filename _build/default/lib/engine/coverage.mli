@@ -1,0 +1,28 @@
+(** Feature-point coverage instrumentation.
+
+    The paper reports line/branch coverage of the DBMS under a 24-hour
+    SQLancer run (Table 4).  We cannot instrument machine code, so the
+    engine registers named feature points (operator evaluations per dialect,
+    planner decisions, DDL/DML paths, maintenance commands) and counts hits;
+    the Table 4 reproduction reports the hit fraction per dialect. *)
+
+type t
+
+val create : unit -> t
+
+(** Declare-and-count: hits register the point in the universe on first use;
+    the static universe below seeds the denominator so that unexercised
+    features count against coverage. *)
+val hit : t -> string -> unit
+
+val hit_count : t -> string -> int
+val points_hit : t -> int
+val universe_size : t -> int
+val fraction : t -> float
+val reset : t -> unit
+
+(** Merge the hits of [src] into [dst] (used to aggregate worker runs). *)
+val merge_into : dst:t -> src:t -> unit
+
+(** All statically declared feature points. *)
+val static_universe : string list

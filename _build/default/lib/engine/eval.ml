@@ -1,0 +1,1197 @@
+open Sqlval
+module A = Sqlast.Ast
+
+let ( let* ) = Result.bind
+
+type resolved = {
+  value : Value.t;
+  datatype : Datatype.t;
+  collation : Collation.t;
+}
+
+type env = {
+  dialect : Dialect.t;
+  bugs : Bug.set;
+  case_sensitive_like : bool;
+  coverage : Coverage.t option;
+  resolve :
+    table:string option -> column:string -> (resolved, Errors.t) result;
+}
+
+let const_env ?(bugs = Bug.empty_set) ?(case_sensitive_like = false) dialect =
+  {
+    dialect;
+    bugs;
+    case_sensitive_like;
+    coverage = None;
+    resolve =
+      (fun ~table:_ ~column ->
+        Error (Errors.makef Errors.No_such_column "no such column: %s" column));
+  }
+
+let cov env point =
+  match env.coverage with None -> () | Some c -> Coverage.hit c point
+
+let bug env b = Bug.on env.bugs b
+
+let bool_value dialect (t : Tvl.t) : Value.t =
+  match dialect with
+  | Dialect.Postgres_like -> (
+      match t with
+      | Tvl.True -> Value.Bool true
+      | Tvl.False -> Value.Bool false
+      | Tvl.Unknown -> Value.Null)
+  | Dialect.Sqlite_like | Dialect.Mysql_like -> (
+      match t with
+      | Tvl.True -> Value.Int 1L
+      | Tvl.False -> Value.Int 0L
+      | Tvl.Unknown -> Value.Null)
+
+(* Truth value of a value, with the mysql TEXT-double truncation bug
+   injected here so that every boolean context inherits it. *)
+let value_tvl env (v : Value.t) : (Tvl.t, Errors.t) result =
+  let buggy_trunc =
+    Dialect.equal env.dialect Dialect.Mysql_like
+    && bug env Bug.My_text_double_bool_trunc
+  in
+  match v with
+  | Value.Text s when buggy_trunc -> (
+      match Numeric.numeric_prefix s with
+      | `Real r ->
+          Ok (Tvl.of_bool (Int64.of_float (Float.trunc r) <> 0L))
+      | `Int _ | `None ->
+          Result.map_error (Errors.make Errors.Type_error)
+            (Coerce.to_tvl env.dialect v))
+  | _ ->
+      Result.map_error (Errors.make Errors.Type_error)
+        (Coerce.to_tvl env.dialect v)
+
+(* ------------------------------------------------------------------ *)
+(* Static metadata                                                     *)
+
+let rec column_meta env (e : A.expr) : (Datatype.t * Collation.t) option =
+  match e with
+  | A.Col { table; column } -> (
+      match env.resolve ~table ~column with
+      | Ok r -> Some (r.datatype, r.collation)
+      | Error _ -> None)
+  | A.Collate (inner, c) -> (
+      match column_meta env inner with
+      | Some (dt, _) -> Some (dt, c)
+      | None -> Some (Datatype.Any, c))
+  | A.Cast (ty, _) -> Some (ty, Collation.Binary)
+  | A.Unary (A.Pos, inner) -> column_meta env inner
+  | _ -> None
+
+let rec explicit_collation env (e : A.expr) : Collation.t option =
+  match e with
+  | A.Collate (_, c) -> Some c
+  | A.Col _ -> (
+      match column_meta env e with
+      | Some (_, c) when not (Collation.equal c Collation.Binary) -> Some c
+      | _ -> None)
+  | A.Unary (A.Pos, inner) -> explicit_collation env inner
+  | _ -> None
+
+let comparison_collation env a b =
+  match explicit_collation env a with
+  | Some c -> c
+  | None -> (
+      match explicit_collation env b with Some c -> c | None -> Collation.Binary)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+
+(* SQLite applies NUMERIC affinity to a TEXT/BLOB operand when the other
+   side has numeric affinity (and TEXT affinity symmetrically); the paper's
+   Listing 7 class depends on this machinery. *)
+let sqlite_affinity_adjust env ea eb va vb =
+  if bug env Bug.Sq_affinity_compare_skip then (va, vb)
+  else
+    let affinity_of e =
+      Option.map (fun (dt, _) -> Datatype.affinity dt) (column_meta env e)
+    in
+    let numericish = function
+      | Some Datatype.A_integer | Some Datatype.A_real | Some Datatype.A_numeric
+        ->
+          true
+      | Some Datatype.A_text | Some Datatype.A_blob | Some Datatype.A_none
+      | None ->
+          false
+    in
+    let textish aff = aff = Some Datatype.A_text in
+    let aa = affinity_of ea and ab = affinity_of eb in
+    let adjust_numeric v =
+      match v with
+      | Value.Text _ | Value.Blob _ -> Coerce.apply_affinity Datatype.A_numeric v
+      | _ -> v
+    in
+    let adjust_text v =
+      match v with
+      | Value.Int _ | Value.Real _ -> Coerce.apply_affinity Datatype.A_text v
+      | _ -> v
+    in
+    if numericish aa && not (numericish ab) then (va, adjust_numeric vb)
+    else if numericish ab && not (numericish aa) then (adjust_numeric va, vb)
+    else if textish aa && ab = None then (va, adjust_text vb)
+    else if textish ab && aa = None then (adjust_text va, vb)
+    else (va, vb)
+
+let text_compare env coll a b =
+  if Collation.equal coll Collation.Rtrim
+     && bug env Bug.Sq_rtrim_compare_asymmetric
+  then
+    (* trims only the left operand *)
+    String.compare (Collation.key Collation.Rtrim a) b
+  else Collation.compare coll a b
+
+(* Cross-class comparison like Value.compare_total but with the engine's
+   collation hook, so the RTRIM injection point covers it. *)
+let compare_values env coll (a : Value.t) (b : Value.t) : int =
+  match (a, b) with
+  | Value.Text x, Value.Text y -> text_compare env coll x y
+  | _ -> Value.compare_total ~collation:coll a b
+
+let pg_comparable (a : Value.t) (b : Value.t) =
+  let open Value in
+  match (storage_class a, storage_class b) with
+  | C_null, _ | _, C_null -> true
+  | (C_int | C_real), (C_int | C_real) -> true
+  | C_text, C_text | C_blob, C_blob | C_bool, C_bool -> true
+  | _ -> false
+
+let pg_type_mismatch a b =
+  Errors.makef Errors.Type_error "operator does not exist: %s vs %s"
+    (Value.show a) (Value.show b)
+
+let op_of_compare op c =
+  match op with
+  | A.Eq -> c = 0
+  | A.Neq -> c <> 0
+  | A.Lt -> c < 0
+  | A.Le -> c <= 0
+  | A.Gt -> c > 0
+  | A.Ge -> c >= 0
+  | _ -> invalid_arg "op_of_compare"
+
+(* mysql compares numerically unless both operands are text or both blob *)
+let mysql_comparison_values (va : Value.t) (vb : Value.t) =
+  match (va, vb) with
+  | Value.Text _, Value.Text _ | Value.Blob _, Value.Blob _ -> (va, vb)
+  | _ -> (Coerce.to_numeric va, Coerce.to_numeric vb)
+
+let literal_int (e : A.expr) =
+  match e with A.Lit (Value.Int i) -> Some i | _ -> None
+
+let int_column_width env e =
+  match column_meta env e with
+  | Some (Datatype.Int { width; _ }, _) -> Some width
+  | _ -> None
+
+let compare_op env op ea eb (va : Value.t) (vb : Value.t) :
+    (Value.t, Errors.t) result =
+  let coll = comparison_collation env ea eb in
+  let null_safe = match op with A.Null_safe_eq -> true | _ -> false in
+  (* mysql Listing 12 class: <=> against an out-of-range literal *)
+  let out_of_range_nullsafe =
+    null_safe
+    && Dialect.equal env.dialect Dialect.Mysql_like
+    && bug env Bug.My_null_safe_eq_out_of_range
+    &&
+    let beyond e_col e_lit =
+      match (int_column_width env e_col, literal_int e_lit) with
+      | Some w, Some i ->
+          let lo, hi = Datatype.int_range w in
+          i < lo || i > hi
+      | _ -> false
+    in
+    beyond ea eb || beyond eb ea
+  in
+  if out_of_range_nullsafe then Ok (bool_value env.dialect Tvl.Unknown)
+  else if null_safe then begin
+    (* null-safe equality never yields NULL *)
+    let eq =
+      match (va, vb) with
+      | Value.Null, Value.Null -> true
+      | Value.Null, _ | _, Value.Null -> false
+      | _ -> (
+          match env.dialect with
+          | Dialect.Sqlite_like ->
+              let va, vb = sqlite_affinity_adjust env ea eb va vb in
+              compare_values env coll va vb = 0
+          | Dialect.Mysql_like ->
+              let va, vb = mysql_comparison_values va vb in
+              compare_values env coll va vb = 0
+          | Dialect.Postgres_like -> compare_values env coll va vb = 0)
+    in
+    if Dialect.equal env.dialect Dialect.Postgres_like
+       && not (pg_comparable va vb)
+    then Error (pg_type_mismatch va vb)
+    else Ok (bool_value env.dialect (Tvl.of_bool eq))
+  end
+  else if Value.is_null va || Value.is_null vb then
+    Ok (bool_value env.dialect Tvl.Unknown)
+  else
+    match env.dialect with
+    | Dialect.Sqlite_like ->
+        let va, vb = sqlite_affinity_adjust env ea eb va vb in
+        Ok (bool_value env.dialect
+              (Tvl.of_bool (op_of_compare op (compare_values env coll va vb))))
+    | Dialect.Mysql_like ->
+        let va, vb = mysql_comparison_values va vb in
+        Ok (bool_value env.dialect
+              (Tvl.of_bool (op_of_compare op (compare_values env coll va vb))))
+    | Dialect.Postgres_like ->
+        if not (pg_comparable va vb) then Error (pg_type_mismatch va vb)
+        else
+          Ok (bool_value env.dialect
+                (Tvl.of_bool (op_of_compare op (compare_values env coll va vb))))
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+
+let overflow_error = Errors.make Errors.Out_of_range "BIGINT value is out of range"
+
+let pg_numeric_operand (v : Value.t) =
+  match v with
+  | Value.Int _ | Value.Real _ | Value.Null -> Ok v
+  | _ ->
+      Error
+        (Errors.makef Errors.Type_error
+           "operator does not exist for operand %s" (Value.show v))
+
+let int_arith env op (x : int64) (y : int64) : (Value.t, Errors.t) result =
+  let checked f real_f =
+    match f x y with
+    | Some r -> Ok (Value.Int r)
+    | None -> (
+        match env.dialect with
+        | Dialect.Sqlite_like ->
+            (* sqlite promotes overflowing integer arithmetic to REAL *)
+            Ok (Value.Real (real_f (Int64.to_float x) (Int64.to_float y)))
+        | Dialect.Mysql_like | Dialect.Postgres_like -> Error overflow_error)
+  in
+  match op with
+  | A.Add -> checked Numeric.checked_add ( +. )
+  | A.Sub -> checked Numeric.checked_sub ( -. )
+  | A.Mul -> checked Numeric.checked_mul ( *. )
+  | A.Div -> (
+      match env.dialect with
+      | Dialect.Mysql_like ->
+          (* mysql / is always real division; NULL on zero *)
+          if y = 0L then Ok Value.Null
+          else Ok (Value.Real (Int64.to_float x /. Int64.to_float y))
+      | Dialect.Sqlite_like -> (
+          match Numeric.checked_div x y with
+          | Some r -> Ok (Value.Int r)
+          | None ->
+              if y = 0L then Ok Value.Null
+              else Ok (Value.Real (Int64.to_float x /. Int64.to_float y)))
+      | Dialect.Postgres_like -> (
+          match Numeric.checked_div x y with
+          | Some r -> Ok (Value.Int r)
+          | None ->
+              if y = 0L then
+                Error (Errors.make Errors.Division_by_zero "division by zero")
+              else Error overflow_error))
+  | A.Rem -> (
+      match Numeric.checked_rem x y with
+      | Some r -> Ok (Value.Int r)
+      | None -> (
+          match env.dialect with
+          | Dialect.Sqlite_like | Dialect.Mysql_like -> Ok Value.Null
+          | Dialect.Postgres_like ->
+              Error (Errors.make Errors.Division_by_zero "division by zero")))
+  | _ -> invalid_arg "int_arith"
+
+let real_arith env op (x : float) (y : float) : (Value.t, Errors.t) result =
+  match op with
+  | A.Add -> Ok (Value.Real (x +. y))
+  | A.Sub -> Ok (Value.Real (x -. y))
+  | A.Mul -> Ok (Value.Real (x *. y))
+  | A.Div ->
+      if y = 0.0 then
+        match env.dialect with
+        | Dialect.Sqlite_like | Dialect.Mysql_like -> Ok Value.Null
+        | Dialect.Postgres_like ->
+            Error (Errors.make Errors.Division_by_zero "division by zero")
+      else Ok (Value.Real (x /. y))
+  | A.Rem ->
+      if y = 0.0 then
+        match env.dialect with
+        | Dialect.Sqlite_like | Dialect.Mysql_like -> Ok Value.Null
+        | Dialect.Postgres_like ->
+            Error (Errors.make Errors.Division_by_zero "division by zero")
+      else Ok (Value.Real (Float.rem x y))
+  | _ -> invalid_arg "real_arith"
+
+let arith env op ea eb (va : Value.t) (vb : Value.t) :
+    (Value.t, Errors.t) result =
+  ignore ea;
+  if Value.is_null va || Value.is_null vb then Ok Value.Null
+  else
+    (* paper Listing 2 class: TEXT operand routes subtraction through
+       double precision, losing low bits of large integers *)
+    let text_involved =
+      match (va, vb) with
+      | Value.Text _, _ | _, Value.Text _ -> true
+      | _ -> false
+    in
+    ignore eb;
+    if
+      Dialect.equal env.dialect Dialect.Sqlite_like
+      && bug env Bug.Sq_text_int_subtract_real
+      && (match op with A.Sub -> true | _ -> false)
+      && text_involved
+    then
+      let to_f v =
+        match Coerce.to_numeric v with
+        | Value.Int i -> Int64.to_float i
+        | Value.Real r -> r
+        | _ -> 0.0
+      in
+      let r = to_f va -. to_f vb in
+      if Numeric.real_is_exact_int r || Float.is_integer r then
+        Ok (Value.Int (Int64.of_float r))
+      else Ok (Value.Real r)
+    else
+      let* na, nb =
+        match env.dialect with
+        | Dialect.Sqlite_like | Dialect.Mysql_like ->
+            Ok (Coerce.to_numeric va, Coerce.to_numeric vb)
+        | Dialect.Postgres_like ->
+            let* a = pg_numeric_operand va in
+            let* b = pg_numeric_operand vb in
+            Ok (a, b)
+      in
+      match (na, nb) with
+      | Value.Int x, Value.Int y -> int_arith env op x y
+      | Value.Real x, Value.Real y -> real_arith env op x y
+      | Value.Int x, Value.Real y -> real_arith env op (Int64.to_float x) y
+      | Value.Real x, Value.Int y -> real_arith env op x (Int64.to_float y)
+      | _ -> Ok Value.Null
+
+(* Bitwise operators work on 64-bit integers; operands are cast the way
+   sqlite's CAST AS INTEGER does. *)
+let to_int64 (v : Value.t) : int64 option =
+  match Coerce.sqlite_cast_int v with Value.Int i -> Some i | _ -> None
+
+let bitop env op (va : Value.t) (vb : Value.t) : (Value.t, Errors.t) result =
+  if Value.is_null va || Value.is_null vb then Ok Value.Null
+  else
+    match env.dialect with
+    | Dialect.Postgres_like -> (
+        match (va, vb) with
+        | Value.Int x, Value.Int y -> (
+            match op with
+            | A.Bit_and -> Ok (Value.Int (Int64.logand x y))
+            | A.Bit_or -> Ok (Value.Int (Int64.logor x y))
+            | A.Shift_left ->
+                if y < 0L || y > 63L then Ok (Value.Int 0L)
+                else Ok (Value.Int (Int64.shift_left x (Int64.to_int y)))
+            | A.Shift_right ->
+                if y < 0L || y > 63L then Ok (Value.Int 0L)
+                else Ok (Value.Int (Int64.shift_right x (Int64.to_int y)))
+            | _ -> invalid_arg "bitop")
+        | _ -> Error (pg_type_mismatch va vb))
+    | Dialect.Sqlite_like | Dialect.Mysql_like -> (
+        match (to_int64 va, to_int64 vb) with
+        | Some x, Some y -> (
+            (* sqlite: a negative shift amount shifts the other way *)
+            let shift dir x y =
+              let y, dir =
+                if y < 0L then (Int64.neg y, not dir) else (y, dir)
+              in
+              if y > 63L then 0L
+              else if dir then Int64.shift_left x (Int64.to_int y)
+              else Int64.shift_right x (Int64.to_int y)
+            in
+            match op with
+            | A.Bit_and -> Ok (Value.Int (Int64.logand x y))
+            | A.Bit_or -> Ok (Value.Int (Int64.logor x y))
+            | A.Shift_left -> Ok (Value.Int (shift true x y))
+            | A.Shift_right -> Ok (Value.Int (shift false x y))
+            | _ -> invalid_arg "bitop")
+        | _ -> Ok Value.Null)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar functions                                                    *)
+
+let func_available dialect (f : A.func) =
+  match (f, dialect) with
+  | (A.F_typeof | A.F_quote), Dialect.Sqlite_like -> true
+  | (A.F_typeof | A.F_quote), _ -> false
+  | A.F_ifnull, (Dialect.Sqlite_like | Dialect.Mysql_like) -> true
+  | A.F_ifnull, Dialect.Postgres_like -> false
+  | A.F_instr, (Dialect.Sqlite_like | Dialect.Mysql_like) -> true
+  | A.F_instr, Dialect.Postgres_like -> false
+  | (A.F_least | A.F_greatest), (Dialect.Mysql_like | Dialect.Postgres_like) ->
+      true
+  | (A.F_least | A.F_greatest), Dialect.Sqlite_like -> false
+  | ( ( A.F_abs | A.F_length | A.F_lower | A.F_upper | A.F_coalesce
+      | A.F_nullif | A.F_trim | A.F_ltrim | A.F_rtrim | A.F_substr
+      | A.F_replace | A.F_hex | A.F_round | A.F_sign ),
+      _ ) ->
+      true
+
+let wrong_arity name =
+  Errors.makef Errors.Invalid_function "wrong number of arguments to %s" name
+
+let pg_wants_text name (v : Value.t) =
+  match v with
+  | Value.Text _ | Value.Null -> Ok ()
+  | _ ->
+      Error
+        (Errors.makef Errors.Type_error "function %s(%s) does not exist" name
+           (Value.show v))
+
+let text_of env (v : Value.t) = Coerce.to_text env.dialect v
+
+let apply_func env (f : A.func) (args : Value.t list) (arg_exprs : A.expr list)
+    : (Value.t, Errors.t) result =
+  let strict_pg = Dialect.equal env.dialect Dialect.Postgres_like in
+  let null_if_any_null k =
+    if List.exists Value.is_null args then Ok Value.Null else k ()
+  in
+  match (f, args) with
+  | A.F_abs, [ v ] ->
+      null_if_any_null (fun () ->
+          match Coerce.to_numeric v with
+          | Value.Int i -> (
+              if strict_pg && not (Value.is_numeric v) then
+                Error (Errors.make Errors.Type_error "abs(non-numeric)")
+              else
+                match Numeric.checked_neg i with
+                | Some n -> Ok (Value.Int (if i < 0L then n else i))
+                | None -> (
+                    match env.dialect with
+                    | Dialect.Sqlite_like ->
+                        Error
+                          (Errors.make Errors.Out_of_range "integer overflow")
+                    | _ -> Error overflow_error))
+          | Value.Real r -> Ok (Value.Real (Float.abs r))
+          | _ -> Ok (Value.Int 0L))
+  | A.F_abs, _ -> Error (wrong_arity "ABS")
+  | A.F_length, [ v ] ->
+      null_if_any_null (fun () ->
+          match v with
+          | Value.Text s -> Ok (Value.Int (Int64.of_int (String.length s)))
+          | Value.Blob s -> Ok (Value.Int (Int64.of_int (String.length s)))
+          | _ ->
+              if strict_pg then
+                Error (Errors.make Errors.Type_error "length(non-text)")
+              else
+                Ok (Value.Int (Int64.of_int (String.length (text_of env v)))))
+  | A.F_length, _ -> Error (wrong_arity "LENGTH")
+  | (A.F_lower | A.F_upper), [ v ] ->
+      null_if_any_null (fun () ->
+          let* () = if strict_pg then pg_wants_text "lower" v else Ok () in
+          let s = text_of env v in
+          let s' =
+            match f with
+            | A.F_lower -> String.lowercase_ascii s
+            | _ -> String.uppercase_ascii s
+          in
+          Ok (Value.Text s'))
+  | (A.F_lower | A.F_upper), _ -> Error (wrong_arity "LOWER/UPPER")
+  | A.F_coalesce, [] -> Error (wrong_arity "COALESCE")
+  | A.F_coalesce, vs -> (
+      match List.find_opt (fun v -> not (Value.is_null v)) vs with
+      | Some v -> Ok v
+      | None -> Ok Value.Null)
+  | A.F_ifnull, [ a; b ] -> Ok (if Value.is_null a then b else a)
+  | A.F_ifnull, _ -> Error (wrong_arity "IFNULL")
+  | A.F_nullif, [ a; b ] ->
+      if Value.is_null a then Ok Value.Null
+      else if Value.is_null b then Ok a
+      else
+        let e0 = List.nth_opt arg_exprs 0 and e1 = List.nth_opt arg_exprs 1 in
+        let coll =
+          match (e0, e1) with
+          | Some x, Some y -> comparison_collation env x y
+          | _ -> Collation.Binary
+        in
+        if compare_values env coll a b = 0 then Ok Value.Null else Ok a
+  | A.F_nullif, _ -> Error (wrong_arity "NULLIF")
+  | A.F_typeof, [ v ] ->
+      (* intended-class injection: TYPEOF reports the declared affinity for
+         text stored in INTEGER columns (devs: works as documented) *)
+      let declared_int =
+        bug env Bug.Sq_intended_typeof_affinity
+        &&
+        match arg_exprs with
+        | [ e ] -> (
+            match column_meta env e with
+            | Some (dt, _) -> Datatype.affinity dt = Datatype.A_integer
+            | None -> false)
+        | _ -> false
+      in
+      let name =
+        match v with
+        | Value.Null -> "null"
+        | Value.Int _ -> "integer"
+        | Value.Real _ -> "real"
+        | Value.Text _ -> if declared_int then "integer" else "text"
+        | Value.Blob _ -> "blob"
+        | Value.Bool _ -> "integer"
+      in
+      Ok (Value.Text name)
+  | A.F_typeof, _ -> Error (wrong_arity "TYPEOF")
+  | (A.F_trim | A.F_ltrim | A.F_rtrim), [ v ] ->
+      null_if_any_null (fun () ->
+          let* () = if strict_pg then pg_wants_text "trim" v else Ok () in
+          let s = text_of env v in
+          let ltrim s =
+            let n = String.length s in
+            let i = ref 0 in
+            while !i < n && s.[!i] = ' ' do
+              incr i
+            done;
+            String.sub s !i (n - !i)
+          in
+          let rtrim s =
+            let n = ref (String.length s) in
+            while !n > 0 && s.[!n - 1] = ' ' do
+              decr n
+            done;
+            String.sub s 0 !n
+          in
+          let s' =
+            match f with
+            | A.F_trim -> ltrim (rtrim s)
+            | A.F_ltrim -> ltrim s
+            | _ -> rtrim s
+          in
+          Ok (Value.Text s'))
+  | (A.F_trim | A.F_ltrim | A.F_rtrim), _ -> Error (wrong_arity "TRIM")
+  | A.F_substr, ([ _; _ ] | [ _; _; _ ]) ->
+      null_if_any_null (fun () ->
+          match args with
+          | v :: rest ->
+              let s = text_of env v in
+              let nums =
+                List.map
+                  (fun x ->
+                    match Coerce.to_numeric x with
+                    | Value.Int i -> Int64.to_int i
+                    | Value.Real r -> int_of_float r
+                    | _ -> 0)
+                  rest
+              in
+              let len = String.length s in
+              let start, count =
+                match nums with
+                | [ st ] -> (st, len)
+                | [ st; ct ] -> (st, ct)
+                | _ -> (1, len)
+              in
+              (* 1-based; negative start counts from the end (sqlite) *)
+              let start0 =
+                if start > 0 then start - 1
+                else if start < 0 then Stdlib.max 0 (len + start)
+                else 0
+              in
+              let count = Stdlib.max 0 count in
+              let start0 = Stdlib.min start0 len in
+              let count = Stdlib.min count (len - start0) in
+              Ok (Value.Text (String.sub s start0 count))
+          | [] -> Error (wrong_arity "SUBSTR"))
+  | A.F_substr, _ -> Error (wrong_arity "SUBSTR")
+  | A.F_replace, [ s; from_s; to_s ] ->
+      null_if_any_null (fun () ->
+          let s = text_of env s
+          and f_ = text_of env from_s
+          and t_ = text_of env to_s in
+          if f_ = "" then Ok (Value.Text s)
+          else begin
+            let buf = Buffer.create (String.length s) in
+            let flen = String.length f_ in
+            let i = ref 0 in
+            while !i <= String.length s - flen do
+              if String.sub s !i flen = f_ then begin
+                Buffer.add_string buf t_;
+                i := !i + flen
+              end
+              else begin
+                Buffer.add_char buf s.[!i];
+                incr i
+              end
+            done;
+            Buffer.add_string buf (String.sub s !i (String.length s - !i));
+            Ok (Value.Text (Buffer.contents buf))
+          end)
+  | A.F_replace, _ -> Error (wrong_arity "REPLACE")
+  | A.F_instr, [ hay; needle ] ->
+      null_if_any_null (fun () ->
+          let h = text_of env hay and n = text_of env needle in
+          let hl = String.length h and nl = String.length n in
+          let rec find i =
+            if i + nl > hl then 0
+            else if String.sub h i nl = n then i + 1
+            else find (i + 1)
+          in
+          Ok (Value.Int (Int64.of_int (find 0))))
+  | A.F_instr, _ -> Error (wrong_arity "INSTR")
+  | A.F_hex, [ v ] ->
+      null_if_any_null (fun () ->
+          let s = text_of env v in
+          let buf = Buffer.create (2 * String.length s) in
+          String.iter
+            (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c)))
+            s;
+          Ok (Value.Text (Buffer.contents buf)))
+  | A.F_hex, _ -> Error (wrong_arity "HEX")
+  | A.F_round, ([ _ ] | [ _; _ ]) ->
+      null_if_any_null (fun () ->
+          match args with
+          | v :: rest ->
+              let digits =
+                match rest with
+                | [ d ] -> (
+                    match Coerce.to_numeric d with
+                    | Value.Int i -> Int64.to_int i
+                    | Value.Real r -> int_of_float r
+                    | _ -> 0)
+                | _ -> 0
+              in
+              let* () =
+                if strict_pg && not (Value.is_numeric v) then
+                  Error (Errors.make Errors.Type_error "round(non-numeric)")
+                else Ok ()
+              in
+              (match Coerce.to_numeric v with
+              | Value.Int i when digits >= 0 -> Ok (Value.Real (Int64.to_float i))
+              | Value.Int i -> Ok (Value.Real (Int64.to_float i))
+              | Value.Real r ->
+                  let scale = 10.0 ** float_of_int (Stdlib.max 0 digits) in
+                  Ok (Value.Real (Float.round (r *. scale) /. scale))
+              | _ -> Ok (Value.Real 0.0))
+          | [] -> Error (wrong_arity "ROUND"))
+  | A.F_round, _ -> Error (wrong_arity "ROUND")
+  | A.F_sign, [ v ] ->
+      null_if_any_null (fun () ->
+          match Coerce.to_numeric v with
+          | Value.Int i -> Ok (Value.Int (Int64.of_int (compare i 0L)))
+          | Value.Real r -> Ok (Value.Int (Int64.of_int (compare r 0.0)))
+          | _ -> Ok Value.Null)
+  | A.F_sign, _ -> Error (wrong_arity "SIGN")
+  | (A.F_least | A.F_greatest), [] -> Error (wrong_arity "LEAST/GREATEST")
+  | (A.F_least | A.F_greatest), vs ->
+      let pick cmp_keep =
+        (* mysql: NULL poisons; postgres: NULLs are skipped *)
+        let non_null = List.filter (fun v -> not (Value.is_null v)) vs in
+        if Dialect.equal env.dialect Dialect.Mysql_like
+           && List.length non_null <> List.length vs
+        then Ok Value.Null
+        else if non_null = [] then Ok Value.Null
+        else if
+          Dialect.equal env.dialect Dialect.Mysql_like
+          && bug env Bug.My_least_mixed_types
+          && List.exists Value.is_numeric non_null
+          && List.exists
+               (fun v -> match v with Value.Text _ -> true | _ -> false)
+               non_null
+        then
+          (* buggy: lexicographic over text renderings *)
+          let best =
+            List.fold_left
+              (fun acc v ->
+                let ta = text_of env acc and tv = text_of env v in
+                if cmp_keep (String.compare tv ta) then v else acc)
+              (List.hd non_null) (List.tl non_null)
+          in
+          Ok best
+        else
+          let best =
+            List.fold_left
+              (fun acc v ->
+                if cmp_keep (Value.compare_total v acc) then v else acc)
+              (List.hd non_null) (List.tl non_null)
+          in
+          Ok best
+      in
+      (match f with
+      | A.F_least -> pick (fun c -> c < 0)
+      | _ -> pick (fun c -> c > 0))
+  | A.F_quote, [ v ] -> Ok (Value.Text (Value.to_sql_literal v))
+  | A.F_quote, _ -> Error (wrong_arity "QUOTE")
+
+(* ------------------------------------------------------------------ *)
+(* Main evaluator                                                      *)
+
+let rec eval env (e : A.expr) : (Value.t, Errors.t) result =
+  match e with
+  | A.Lit v -> Ok v
+  | A.Col { table; column } ->
+      let* r = env.resolve ~table ~column in
+      Ok r.value
+  | A.Unary (op, inner) -> eval_unary env op inner
+  | A.Binary (op, a, b) -> eval_binary env op a b
+  | A.Is { negated; arg; rhs } -> eval_is env ~negated arg rhs
+  | A.Between { negated; arg; lo; hi } -> eval_between env ~negated arg lo hi
+  | A.In_list { negated; arg; list } -> eval_in env ~negated arg list
+  | A.Like { negated; arg; pattern; escape } ->
+      eval_like env ~negated arg pattern escape
+  | A.Glob { negated; arg; pattern } -> eval_glob env ~negated arg pattern
+  | A.Cast (ty, inner) -> eval_cast env ty inner
+  | A.Func (f, args) -> eval_func env f args
+  | A.Agg _ ->
+      Error
+        (Errors.make Errors.Invalid_function
+           "misuse of aggregate function in scalar context")
+  | A.Case { operand; branches; else_ } -> eval_case env operand branches else_
+  | A.Collate (inner, _) -> eval env inner
+
+and eval_tvl env e : (Tvl.t, Errors.t) result =
+  let* v = eval env e in
+  value_tvl env v
+
+and eval_unary env op inner =
+  match op with
+  | A.Not -> (
+      cov env "unop.not";
+      (* mysql Listing 13 class: NOT(NOT x) folded away *)
+      match inner with
+      | A.Unary (A.Not, grandchild)
+        when Dialect.equal env.dialect Dialect.Mysql_like
+             && bug env Bug.My_double_negation_fold ->
+          eval env grandchild
+      | _ ->
+          let* t = eval_tvl env inner in
+          Ok (bool_value env.dialect (Tvl.not_ t)))
+  | A.Neg -> (
+      cov env "unop.neg";
+      let* v = eval env inner in
+      if Value.is_null v then Ok Value.Null
+      else
+        match env.dialect with
+        | Dialect.Postgres_like -> (
+            let* n = pg_numeric_operand v in
+            match n with
+            | Value.Int i -> (
+                match Numeric.checked_neg i with
+                | Some r -> Ok (Value.Int r)
+                | None -> Error overflow_error)
+            | Value.Real r -> Ok (Value.Real (-.r))
+            | _ -> Ok Value.Null)
+        | Dialect.Sqlite_like | Dialect.Mysql_like -> (
+            match Coerce.to_numeric v with
+            | Value.Int i -> (
+                match Numeric.checked_neg i with
+                | Some r -> Ok (Value.Int r)
+                | None -> Ok (Value.Real 9.223372036854775808e18))
+            | Value.Real r -> Ok (Value.Real (-.r))
+            | _ -> Ok Value.Null))
+  | A.Pos ->
+      cov env "unop.pos";
+      eval env inner
+  | A.Bit_not -> (
+      cov env "unop.bit_not";
+      let* v = eval env inner in
+      if Value.is_null v then Ok Value.Null
+      else
+        match env.dialect with
+        | Dialect.Postgres_like -> (
+            match v with
+            | Value.Int i -> Ok (Value.Int (Int64.lognot i))
+            | _ -> Error (Errors.make Errors.Type_error "~ requires integer"))
+        | Dialect.Sqlite_like | Dialect.Mysql_like -> (
+            match to_int64 v with
+            | Some i -> Ok (Value.Int (Int64.lognot i))
+            | None -> Ok Value.Null))
+
+and eval_binary env op a b =
+  match op with
+  | A.And ->
+      cov env "binop.and";
+      let* ta = eval_tvl env a in
+      if Tvl.equal ta Tvl.False then Ok (bool_value env.dialect Tvl.False)
+      else
+        let* tb = eval_tvl env b in
+        Ok (bool_value env.dialect (Tvl.and_ ta tb))
+  | A.Or ->
+      cov env "binop.or";
+      let* ta = eval_tvl env a in
+      if Tvl.equal ta Tvl.True then Ok (bool_value env.dialect Tvl.True)
+      else
+        let* tb = eval_tvl env b in
+        Ok (bool_value env.dialect (Tvl.or_ ta tb))
+  | A.Concat when Dialect.equal env.dialect Dialect.Mysql_like ->
+      (* mysql: || is logical OR by default *)
+      cov env "binop.concat";
+      eval_binary env A.Or a b
+  | A.Concat ->
+      cov env "binop.concat";
+      let* va = eval env a in
+      let* vb = eval env b in
+      if Value.is_null va || Value.is_null vb then Ok Value.Null
+      else Ok (Value.Text (text_of env va ^ text_of env vb))
+  | A.Eq | A.Neq | A.Lt | A.Le | A.Gt | A.Ge | A.Null_safe_eq ->
+      let point =
+        match op with
+        | A.Eq -> "binop.eq"
+        | A.Neq -> "binop.neq"
+        | A.Lt -> "binop.lt"
+        | A.Le -> "binop.le"
+        | A.Gt -> "binop.gt"
+        | A.Ge -> "binop.ge"
+        | _ -> "binop.nullsafe_eq"
+      in
+      cov env point;
+      let* va = eval env a in
+      let* vb = eval env b in
+      compare_op env op a b va vb
+  | A.Add | A.Sub | A.Mul | A.Div | A.Rem ->
+      let point =
+        match op with
+        | A.Add -> "binop.add"
+        | A.Sub -> "binop.sub"
+        | A.Mul -> "binop.mul"
+        | A.Div -> "binop.div"
+        | _ -> "binop.rem"
+      in
+      cov env point;
+      let* va = eval env a in
+      let* vb = eval env b in
+      arith env op a b va vb
+  | A.Bit_and | A.Bit_or | A.Shift_left | A.Shift_right ->
+      let point =
+        match op with
+        | A.Bit_and -> "binop.bit_and"
+        | A.Bit_or -> "binop.bit_or"
+        | A.Shift_left -> "binop.shl"
+        | _ -> "binop.shr"
+      in
+      cov env point;
+      let* va = eval env a in
+      let* vb = eval env b in
+      bitop env op va vb
+
+and eval_is env ~negated arg rhs =
+  cov env "pred.is";
+  let finish t =
+    let t = if negated then Tvl.not_ t else t in
+    Ok (bool_value env.dialect t)
+  in
+  match rhs with
+  | A.Is_null ->
+      let* v = eval env arg in
+      finish (Tvl.of_bool (Value.is_null v))
+  | A.Is_true | A.Is_false -> (
+      let* v = eval env arg in
+      let want = match rhs with A.Is_true -> Tvl.True | _ -> Tvl.False in
+      match v with
+      | Value.Null ->
+          (* IS TRUE/FALSE of NULL is FALSE; IS NOT TRUE of NULL is TRUE —
+             unless the injected Listing-1-adjacent bug flips it *)
+          if
+            negated
+            && Dialect.equal env.dialect Dialect.Sqlite_like
+            && bug env Bug.Sq_is_not_true_null
+          then Ok (bool_value env.dialect Tvl.False)
+          else finish Tvl.False
+      | _ ->
+          let* t = value_tvl env v in
+          finish (Tvl.of_bool (Tvl.equal t want)))
+  | A.Is_expr other ->
+      (* sqlite's IS: null-safe equality over scalars *)
+      if not (Dialect.equal env.dialect Dialect.Sqlite_like) then
+        Error
+          (Errors.make Errors.Invalid_function
+             "IS over scalars is sqlite-specific")
+      else
+        let* va = eval env arg in
+        let* vb = eval env other in
+        let* r = compare_op env A.Null_safe_eq arg other va vb in
+        let* t = value_tvl env r in
+        finish t
+  | A.Is_distinct_from other ->
+      if not (Dialect.equal env.dialect Dialect.Postgres_like) then
+        Error
+          (Errors.make Errors.Invalid_function
+             "IS DISTINCT FROM is postgres-specific")
+      else
+        let* va = eval env arg in
+        let* vb = eval env other in
+        let* r = compare_op env A.Null_safe_eq arg other va vb in
+        let* t = value_tvl env r in
+        finish (Tvl.not_ t)
+
+and eval_between env ~negated arg lo hi =
+  cov env "pred.between";
+  let coll =
+    if bug env Bug.Sq_between_collate_ignored
+       && Dialect.equal env.dialect Dialect.Sqlite_like
+    then Collation.Binary
+    else
+      match explicit_collation env arg with
+      | Some c -> c
+      | None -> comparison_collation env lo hi
+  in
+  let* v = eval env arg in
+  let* vl = eval env lo in
+  let* vh = eval env hi in
+  let cmp x y =
+    if Value.is_null x || Value.is_null y then Tvl.Unknown
+    else
+      let x, y =
+        match env.dialect with
+        | Dialect.Sqlite_like -> sqlite_affinity_adjust env arg lo x y
+        | Dialect.Mysql_like -> mysql_comparison_values x y
+        | Dialect.Postgres_like -> (x, y)
+      in
+      Tvl.of_bool (compare_values env coll x y >= 0)
+  in
+  let* () =
+    if Dialect.equal env.dialect Dialect.Postgres_like
+       && not (pg_comparable v vl && pg_comparable v vh)
+    then Error (pg_type_mismatch v vl)
+    else Ok ()
+  in
+  let ge_lo = cmp v vl in
+  let le_hi =
+    if Value.is_null v || Value.is_null vh then Tvl.Unknown
+    else
+      let x, y =
+        match env.dialect with
+        | Dialect.Sqlite_like -> sqlite_affinity_adjust env arg hi v vh
+        | Dialect.Mysql_like -> mysql_comparison_values v vh
+        | Dialect.Postgres_like -> (v, vh)
+      in
+      Tvl.of_bool (compare_values env coll x y <= 0)
+  in
+  let t = Tvl.and_ ge_lo le_hi in
+  let t = if negated then Tvl.not_ t else t in
+  Ok (bool_value env.dialect t)
+
+and eval_in env ~negated arg list =
+  cov env "pred.in";
+  let* v = eval env arg in
+  if Value.is_null v then Ok (bool_value env.dialect Tvl.Unknown)
+  else
+    let rec walk saw_null = function
+      | [] ->
+          let t =
+            if saw_null then
+              if
+                Dialect.equal env.dialect Dialect.Sqlite_like
+                && bug env Bug.Sq_null_in_list_false
+              then Tvl.False
+              else Tvl.Unknown
+            else Tvl.False
+          in
+          Ok t
+      | item :: rest ->
+          let* vi = eval env item in
+          if Value.is_null vi then walk true rest
+          else
+            let* r = compare_op env A.Eq arg item v vi in
+            let* t = value_tvl env r in
+            if Tvl.equal t Tvl.True then Ok Tvl.True else walk saw_null rest
+    in
+    let* t = walk false list in
+    let t = if negated then Tvl.not_ t else t in
+    Ok (bool_value env.dialect t)
+
+and eval_like env ~negated arg pattern escape =
+  cov env "pred.like";
+  let* v = eval env arg in
+  let* p = eval env pattern in
+  let* esc =
+    match escape with
+    | None -> Ok None
+    | Some e ->
+        let* ve = eval env e in
+        (match ve with
+        | Value.Text s when String.length s = 1 -> Ok (Some s.[0])
+        | Value.Null -> Ok None
+        | _ ->
+            Error
+              (Errors.make Errors.Invalid_function
+                 "ESCAPE expression must be a single character"))
+  in
+  if Value.is_null v || Value.is_null p then
+    Ok (bool_value env.dialect Tvl.Unknown)
+  else
+    let* () =
+      if Dialect.equal env.dialect Dialect.Postgres_like then
+        match (v, p) with
+        | (Value.Text _ | Value.Null), (Value.Text _ | Value.Null) -> Ok ()
+        | _ -> Error (pg_type_mismatch v p)
+      else Ok ()
+    in
+    let case_sensitive =
+      match env.dialect with
+      | Dialect.Postgres_like -> true
+      | Dialect.Mysql_like -> false
+      | Dialect.Sqlite_like ->
+          let base = env.case_sensitive_like in
+          (* injected: LIKE on a NOCASE column becomes case sensitive *)
+          if
+            bug env Bug.Sq_nocase_like_case_sensitive
+            &&
+            match column_meta env arg with
+            | Some (_, Collation.Nocase) -> true
+            | _ -> false
+          then true
+          else base
+    in
+    (* paper Listing 7 class: on an INTEGER-affinity column the optimized
+       LIKE compares numeric prefixes instead of text *)
+    let int_affinity_buggy =
+      Dialect.equal env.dialect Dialect.Sqlite_like
+      && ((bug env Bug.Sq_like_int_affinity_opt
+           &&
+           match column_meta env arg with
+           | Some (dt, _) -> Datatype.affinity dt = Datatype.A_integer
+           | None -> false)
+         || (bug env Bug.Sq_dup_like_opt_nocase
+             &&
+             match column_meta env arg with
+             | Some (dt, c) ->
+                 Datatype.affinity dt = Datatype.A_integer
+                 && Collation.equal c Collation.Nocase
+             | None -> false))
+    in
+    let matched =
+      if int_affinity_buggy then
+        (* the optimized LIKE ranges over numeric keys: non-numeric text
+           never matches, numeric text matches on numeric equality *)
+        match
+          ( Numeric.parse_exact (text_of env v),
+            Numeric.parse_exact (text_of env p) )
+        with
+        | Some a, Some b -> a = b
+        | _ -> false
+      else
+        Like_matcher.like ~case_sensitive ?escape:esc
+          ~pattern:(text_of env p) (text_of env v)
+    in
+    let t = Tvl.of_bool matched in
+    let t = if negated then Tvl.not_ t else t in
+    Ok (bool_value env.dialect t)
+
+and eval_glob env ~negated arg pattern =
+  cov env "pred.glob";
+  if not (Dialect.equal env.dialect Dialect.Sqlite_like) then
+    Error (Errors.make Errors.Invalid_function "GLOB is sqlite-specific")
+  else
+    let* v = eval env arg in
+    let* p = eval env pattern in
+    if Value.is_null v || Value.is_null p then
+      Ok (bool_value env.dialect Tvl.Unknown)
+    else
+      let pat = text_of env p in
+      let pat =
+        (* injected: character-class range upper bounds become exclusive,
+           implemented by shrinking each range in the pattern *)
+        if bug env Bug.Sq_glob_range_exclusive then begin
+          let b = Bytes.of_string pat in
+          let n = Bytes.length b in
+          for i = 0 to n - 3 do
+            if
+              Bytes.get b i = '-'
+              && i > 0
+              && Bytes.get b (i + 1) <> ']'
+              && Char.code (Bytes.get b (i + 1)) > 0
+            then Bytes.set b (i + 1) (Char.chr (Char.code (Bytes.get b (i + 1)) - 1))
+          done;
+          Bytes.to_string b
+        end
+        else pat
+      in
+      let matched = Like_matcher.glob ~pattern:pat (text_of env v) in
+      let t = Tvl.of_bool matched in
+      let t = if negated then Tvl.not_ t else t in
+      Ok (bool_value env.dialect t)
+
+and eval_cast env ty inner =
+  cov env "pred.cast";
+  let* v = eval env inner in
+  (* mysql unsigned-cast bug: negative integers keep their signed value *)
+  match (env.dialect, ty) with
+  | Dialect.Mysql_like, Datatype.Int { unsigned = true; _ }
+    when bug env Bug.My_unsigned_cast_signed_compare
+         || bug env Bug.My_dup_unsigned_compare -> (
+      match Coerce.to_numeric v with
+      | Value.Int i -> Ok (Value.Int i) (* buggy: stays signed *)
+      | Value.Real r -> Ok (Value.Int (Int64.of_float (Float.round r)))
+      | Value.Null -> Ok Value.Null
+      | _ -> Ok (Value.Int 0L))
+  | _ ->
+      Result.map_error (Errors.make Errors.Type_error)
+        (Coerce.cast env.dialect ty v)
+
+and eval_func env f args =
+  cov env ("func." ^ func_point f);
+  if not (func_available env.dialect f) then
+    Error
+      (Errors.makef Errors.Invalid_function "no such function in %s dialect"
+         (Dialect.name env.dialect))
+  else
+    let rec eval_args acc = function
+      | [] -> Ok (List.rev acc)
+      | a :: rest ->
+          let* v = eval env a in
+          eval_args (v :: acc) rest
+    in
+    let* vs = eval_args [] args in
+    apply_func env f vs args
+
+and func_point = function
+  | A.F_abs -> "abs"
+  | A.F_length -> "length"
+  | A.F_lower -> "lower"
+  | A.F_upper -> "upper"
+  | A.F_coalesce -> "coalesce"
+  | A.F_ifnull -> "ifnull"
+  | A.F_nullif -> "nullif"
+  | A.F_typeof -> "typeof"
+  | A.F_trim -> "trim"
+  | A.F_ltrim -> "ltrim"
+  | A.F_rtrim -> "rtrim"
+  | A.F_substr -> "substr"
+  | A.F_replace -> "replace"
+  | A.F_instr -> "instr"
+  | A.F_hex -> "hex"
+  | A.F_round -> "round"
+  | A.F_sign -> "sign"
+  | A.F_least -> "least"
+  | A.F_greatest -> "greatest"
+  | A.F_quote -> "quote"
+
+and eval_case env operand branches else_ =
+  cov env "pred.case";
+  let buggy_null_when =
+    Dialect.equal env.dialect Dialect.Sqlite_like && bug env Bug.Sq_case_null_when
+  in
+  match operand with
+  | None ->
+      let rec walk = function
+        | [] -> (
+            match else_ with Some e -> eval env e | None -> Ok Value.Null)
+        | (cond, result) :: rest ->
+            let* t = eval_tvl env cond in
+            let taken =
+              Tvl.equal t Tvl.True
+              || (buggy_null_when && Tvl.equal t Tvl.Unknown)
+            in
+            if taken then eval env result else walk rest
+      in
+      walk branches
+  | Some op_expr ->
+      let* v = eval env op_expr in
+      let rec walk = function
+        | [] -> (
+            match else_ with Some e -> eval env e | None -> Ok Value.Null)
+        | (cond, result) :: rest ->
+            let* vc = eval env cond in
+            let* r = compare_op env A.Eq op_expr cond v vc in
+            let* t = value_tvl env r in
+            let taken =
+              Tvl.equal t Tvl.True
+              || (buggy_null_when && Tvl.equal t Tvl.Unknown)
+            in
+            if taken then eval env result else walk rest
+      in
+      walk branches

@@ -1,0 +1,50 @@
+(** The engine-side expression evaluator.
+
+    This is the component the paper's containment oracle puts under test:
+    most injected containment-class bugs live here (comparison collations,
+    implicit conversions, LIKE handling, operator folding).  The PQS oracle
+    interpreter ({!Pqs.Interp}) re-implements the same semantics
+    independently and is never bug-injected; a qcheck property asserts the
+    two agree when the bug set is empty. *)
+
+open Sqlval
+
+(** What an expression's column reference resolves to. *)
+type resolved = {
+  value : Value.t;
+  datatype : Datatype.t;
+  collation : Collation.t;
+}
+
+type env = {
+  dialect : Dialect.t;
+  bugs : Bug.set;
+  case_sensitive_like : bool;  (** sqlite PRAGMA state *)
+  coverage : Coverage.t option;
+  resolve :
+    table:string option -> column:string -> (resolved, Errors.t) result;
+}
+
+(** Environment with no columns in scope (constant expressions). *)
+val const_env :
+  ?bugs:Bug.set -> ?case_sensitive_like:bool -> Dialect.t -> env
+
+(** Dialect encoding of a three-valued result: INTEGER 0/1/NULL for sqlite
+    and mysql, BOOLEAN/NULL for postgres. *)
+val bool_value : Dialect.t -> Tvl.t -> Value.t
+
+val eval : env -> Sqlast.Ast.expr -> (Value.t, Errors.t) result
+
+(** Evaluate in boolean context (WHERE/JOIN/HAVING). *)
+val eval_tvl : env -> Sqlast.Ast.expr -> (Tvl.t, Errors.t) result
+
+(** Static column metadata of an expression, if it is (a decoration of) a
+    column reference; comparison affinity/collation rules consult it. *)
+val column_meta :
+  env -> Sqlast.Ast.expr -> (Datatype.t * Collation.t) option
+
+(** The collation governing a comparison of [a] with [b] under SQLite's
+    rules (explicit COLLATE anywhere wins, else left column's collation,
+    else right's, else BINARY). *)
+val comparison_collation :
+  env -> Sqlast.Ast.expr -> Sqlast.Ast.expr -> Collation.t

@@ -1,0 +1,34 @@
+(** Query execution: the SELECT pipeline.
+
+    Single-table scans go through {!Planner} and always re-apply the WHERE
+    filter to the candidate rows; joins are nested loops over the FROM
+    cross product; views expand inline; GROUP BY/HAVING, DISTINCT, ORDER
+    BY, LIMIT/OFFSET and the compound operators (UNION/INTERSECT/EXCEPT —
+    INTERSECT being what PQS's containment check uses) complete the
+    pipeline. *)
+
+open Sqlval
+
+type ctx = {
+  dialect : Dialect.t;
+  bugs : Bug.set;
+  options : Options.t;
+  coverage : Coverage.t option;
+  catalog : Storage.Catalog.t;
+}
+
+type result_set = { rs_columns : string list; rs_rows : Value.t array list }
+
+val pp_result_set : Format.formatter -> result_set -> unit
+
+(** Does the result set contain this exact row (value equality)? *)
+val result_contains : result_set -> Value.t list -> bool
+
+val eval_env : ctx -> Eval.env
+
+val run_query : ctx -> Sqlast.Ast.query -> (result_set, Errors.t) result
+
+(** Rows of one table including postgres-inherited children (projected onto
+    the parent's columns), in scan order.  Shared with DML and maintenance. *)
+val scan_table :
+  ctx -> Storage.Catalog.table_state -> (Storage.Row.t * Storage.Schema.table) list

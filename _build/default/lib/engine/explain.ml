@@ -1,0 +1,75 @@
+(* EXPLAIN: a human-readable access-plan description.
+
+   Real engines print bytecode (sqlite) or plan trees (postgres); this
+   prints the planner's chosen access path per base table plus the
+   pipeline stages, which is what the examples and the REPL need to make
+   planner behaviour observable. *)
+
+module A = Sqlast.Ast
+
+let rec from_lines ctx (item : A.from_item) ~where : string list =
+  match item with
+  | A.F_table { name; alias } -> (
+      let label =
+        match alias with Some a -> name ^ " AS " ^ a | None -> name
+      in
+      match Storage.Catalog.find_table ctx.Executor.catalog name with
+      | Some ts ->
+          let path =
+            Planner.choose (Executor.eval_env ctx) ctx.Executor.catalog
+              ts.Storage.Catalog.schema ~where
+          in
+          [ Printf.sprintf "SCAN %s USING %s" label (Planner.show_path path) ]
+      | None ->
+          if Storage.Catalog.view_exists ctx.Executor.catalog name then
+            [ Printf.sprintf "EXPAND VIEW %s" label ]
+          else [ Printf.sprintf "SCAN %s (no such table)" label ])
+  | A.F_join { kind; left; right; _ } ->
+      let kw =
+        match kind with
+        | A.Inner -> "NESTED LOOP JOIN"
+        | A.Left -> "NESTED LOOP LEFT JOIN"
+        | A.Cross -> "NESTED LOOP CROSS JOIN"
+      in
+      from_lines ctx left ~where:None
+      @ from_lines ctx right ~where:None
+      @ [ kw ]
+  | A.F_sub { alias; _ } -> [ Printf.sprintf "MATERIALIZE SUBQUERY AS %s" alias ]
+
+let rec query_lines ctx (q : A.query) : string list =
+  match q with
+  | A.Q_values rows -> [ Printf.sprintf "VALUES (%d rows)" (List.length rows) ]
+  | A.Q_compound (op, a, b) ->
+      let kw =
+        match op with
+        | A.Union -> "UNION"
+        | A.Union_all -> "UNION ALL"
+        | A.Intersect -> "INTERSECT"
+        | A.Except -> "EXCEPT"
+      in
+      query_lines ctx a @ query_lines ctx b @ [ "COMPOUND " ^ kw ]
+  | A.Q_select s ->
+      let scans =
+        match s.A.sel_from with
+        | [ single ] -> from_lines ctx single ~where:s.A.sel_where
+        | items ->
+            List.concat_map (fun it -> from_lines ctx it ~where:None) items
+      in
+      let stages =
+        (if s.A.sel_group_by <> [] then [ "GROUP BY" ] else [])
+        @ (if s.A.sel_having <> None then [ "FILTER HAVING" ] else [])
+        @ (if s.A.sel_distinct then [ "DISTINCT" ] else [])
+        @ (if s.A.sel_order_by <> [] then [ "SORT" ] else [])
+        @
+        if s.A.sel_limit <> None || s.A.sel_offset <> None then [ "LIMIT" ]
+        else []
+      in
+      scans @ stages
+
+let run ctx (q : A.query) : (Executor.result_set, Errors.t) result =
+  Ok
+    {
+      Executor.rs_columns = [ "plan" ];
+      rs_rows =
+        List.map (fun l -> [| Sqlval.Value.Text l |]) (query_lines ctx q);
+    }

@@ -1,0 +1,24 @@
+(** Maintenance statements: VACUUM, REINDEX, ANALYZE, CHECK TABLE, REPAIR
+    TABLE, CREATE STATISTICS, DISCARD.
+
+    The paper observed that "statements that compute or recompute table
+    state were error prone" (Section 4.3); most error-oracle bug classes
+    are injected here. *)
+
+val vacuum : Executor.ctx -> full:bool -> (unit, Errors.t) result
+val reindex : Executor.ctx -> string option -> (unit, Errors.t) result
+val analyze : Executor.ctx -> string option -> (unit, Errors.t) result
+
+val check_table :
+  Executor.ctx -> table:string -> for_upgrade:bool -> (unit, Errors.t) result
+
+val repair_table : Executor.ctx -> string -> (unit, Errors.t) result
+
+val create_statistics :
+  Executor.ctx ->
+  name:string ->
+  table:string ->
+  columns:string list ->
+  (unit, Errors.t) result
+
+val discard_all : Executor.ctx -> (unit, Errors.t) result

@@ -1,0 +1,83 @@
+open Sqlval
+
+type t = {
+  dialect : Dialect.t;
+  values : (string, Value.t) Hashtbl.t;
+  mutable like_pragma_touched : bool;
+}
+
+let known = function
+  | Dialect.Sqlite_like ->
+      [
+        ("case_sensitive_like", Value.Int 0L);
+        ("reverse_unordered_selects", Value.Int 0L);
+        ("ignore_check_constraints", Value.Int 0L);
+        ("cell_size_check", Value.Int 0L);
+        ("legacy_file_format", Value.Int 0L);
+      ]
+  | Dialect.Mysql_like ->
+      [
+        ("key_cache_division_limit", Value.Int 100L);
+        ("sql_mode", Value.Text "");
+        ("max_heap_table_size", Value.Int 16777216L);
+        ("sort_buffer_size", Value.Int 262144L);
+        ("optimizer_switch", Value.Text "default");
+      ]
+  | Dialect.Postgres_like ->
+      [
+        ("enable_seqscan", Value.Bool true);
+        ("enable_indexscan", Value.Bool true);
+        ("work_mem", Value.Int 4096L);
+        ("default_statistics_target", Value.Int 100L);
+        ("jit", Value.Bool false);
+      ]
+
+let create dialect =
+  let values = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace values k v) (known dialect);
+  { dialect; values; like_pragma_touched = false }
+
+let copy t =
+  {
+    dialect = t.dialect;
+    values = Hashtbl.copy t.values;
+    like_pragma_touched = t.like_pragma_touched;
+  }
+
+let get t name = Hashtbl.find_opt t.values (String.lowercase_ascii name)
+
+let set t name value =
+  let name = String.lowercase_ascii name in
+  match Hashtbl.find_opt t.values name with
+  | None ->
+      Error
+        (Errors.makef Errors.Invalid_option "unknown option or pragma: %s" name)
+  | Some current ->
+      let compatible =
+        match (current, value) with
+        | Value.Int _, Value.Int _
+        | Value.Text _, Value.Text _
+        | Value.Bool _, Value.Bool _ ->
+            true
+        (* booleans are settable as 0/1 everywhere *)
+        | Value.Bool _, Value.Int _ | Value.Int _, Value.Bool _ -> true
+        | _ -> false
+      in
+      if not compatible then
+        Error
+          (Errors.makef Errors.Invalid_option "incorrect argument type for %s"
+             name)
+      else begin
+        if name = "case_sensitive_like" then t.like_pragma_touched <- true;
+        Hashtbl.replace t.values name value;
+        Ok ()
+      end
+
+let truthy = function
+  | Some (Value.Int i) -> i <> 0L
+  | Some (Value.Bool b) -> b
+  | _ -> false
+
+let case_sensitive_like t = truthy (get t "case_sensitive_like")
+let reverse_unordered_selects t = truthy (get t "reverse_unordered_selects")
+let like_pragma_touched t = t.like_pragma_touched

@@ -1,0 +1,50 @@
+(** Access-path selection for single-table scans.
+
+    The planner analyses the WHERE conjunction and picks an index probe,
+    an index range scan, a LIKE-prefix range, a partial-index scan, a
+    skip-scan, or an OR-union of probes; anything else falls back to the
+    full table scan.  The executor re-applies the full WHERE filter to the
+    candidate rows, so with no bugs enabled every path is sound (property
+    tested: path candidates ⊇ matching rows).
+
+    Injected planner defects mirror the paper's optimization bugs: the
+    unsound [IS NOT x ⇒ NOT NULL] partial-index inference (Listing 1), the
+    DESC-index strict-bound range bug, the OR-union early exit, and the
+    skip-scan/DISTINCT interaction (Listing 6, completed in the executor). *)
+
+open Sqlval
+
+type bound = Value.t * bool (* value, inclusive *)
+
+type path =
+  | Full_scan
+  | Index_eq of { index : Storage.Index.t; key : Value.t array }
+  | Index_range of {
+      index : Storage.Index.t;
+      lo : bound option;
+      hi : bound option;
+    }
+  | Index_like_prefix of { index : Storage.Index.t; prefix : string }
+  | Partial_index_scan of { index : Storage.Index.t }
+  | Skip_scan of { index : Storage.Index.t }
+  | Or_union of path list
+
+val pp_path : Format.formatter -> path -> unit
+val show_path : path -> string
+
+(** Split an expression into its top-level AND conjuncts. *)
+val conjuncts : Sqlast.Ast.expr -> Sqlast.Ast.expr list
+
+(** Does the WHERE conjunction imply the partial index predicate?  The
+    sound rules accept a syntactically equal conjunct and the
+    equality-implies-NOT-NULL rule; the buggy rule (Listing 1) also accepts
+    [c IS NOT lit]. *)
+val implies_predicate :
+  Eval.env -> where:Sqlast.Ast.expr list -> predicate:Sqlast.Ast.expr -> bool
+
+val choose :
+  Eval.env ->
+  Storage.Catalog.t ->
+  Storage.Schema.table ->
+  where:Sqlast.Ast.expr option ->
+  path

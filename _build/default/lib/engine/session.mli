@@ -1,0 +1,48 @@
+(** A database session: the engine's public statement API.
+
+    Each session owns a catalog (one "database file"), an enabled-bug set,
+    run-time options and a deterministic RNG (for the one injected
+    nondeterministic defect, paper Listing 3).  PQS workers run one session
+    per thread on a distinct database, as the paper describes
+    (Section 3.4). *)
+
+open Sqlval
+
+type t
+
+type exec_result =
+  | Rows of Executor.result_set
+  | Affected of int
+  | Done
+
+val pp_exec_result : Format.formatter -> exec_result -> unit
+
+val create :
+  ?seed:int ->
+  ?bugs:Bug.set ->
+  ?coverage:Coverage.t ->
+  Dialect.t ->
+  t
+
+val dialect : t -> Dialect.t
+val catalog : t -> Storage.Catalog.t
+val bugs : t -> Bug.set
+val options : t -> Options.t
+val ctx : t -> Executor.ctx
+
+(** Number of statements executed so far (throughput accounting). *)
+val statements_executed : t -> int
+
+(** Execute one statement.  Logic errors come back as [Error]; the
+    simulated SEGFAULT propagates as the {!Errors.Crash} exception, like a
+    process crash would. *)
+val execute : t -> Sqlast.Ast.stmt -> (exec_result, Errors.t) result
+
+(** Convenience: run a query and expect rows. *)
+val query : t -> Sqlast.Ast.query -> (Executor.result_set, Errors.t) result
+
+(** Table names in creation order (the introspection PQS uses instead of
+    tracking state itself, paper Section 3.4). *)
+val table_names : t -> string list
+
+val view_names : t -> string list

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Dialect Engine Fmt_table List Pqs Printf Sqlast Sqlval String Tvl

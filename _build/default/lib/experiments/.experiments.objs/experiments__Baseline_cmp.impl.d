@@ -1,0 +1,1 @@
+lib/experiments/baseline_cmp.ml: Baselines Detection Engine Fmt_table List Pqs Printf

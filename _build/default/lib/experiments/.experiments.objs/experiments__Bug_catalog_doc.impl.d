@@ -1,0 +1,1 @@
+lib/experiments/bug_catalog_doc.ml: Buffer Detection Dialect Engine List Pqs Printf Sqlval

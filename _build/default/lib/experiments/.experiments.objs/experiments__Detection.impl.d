@@ -1,0 +1,1 @@
+lib/experiments/detection.ml: Engine List Pqs Printf Sqlval

@@ -1,0 +1,1 @@
+lib/experiments/detection.mli: Engine Pqs Sqlval

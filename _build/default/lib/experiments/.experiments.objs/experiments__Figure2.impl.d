@@ -1,0 +1,1 @@
+lib/experiments/figure2.ml: Detection Fmt_table List Option Pqs Printf

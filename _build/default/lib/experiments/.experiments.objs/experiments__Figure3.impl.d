@@ -1,0 +1,1 @@
+lib/experiments/figure3.ml: Detection Dialect Fmt_table List Option Pqs Printf Sqlast Sqlval String

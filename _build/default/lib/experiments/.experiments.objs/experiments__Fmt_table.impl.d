@@ -1,0 +1,1 @@
+lib/experiments/fmt_table.ml: List Printf String

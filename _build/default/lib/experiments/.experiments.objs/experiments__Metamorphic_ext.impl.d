@@ -1,0 +1,1 @@
+lib/experiments/metamorphic_ext.ml: Dialect Engine Fmt_table List Pqs Printf Sqlval

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Dialect Fmt_table List Sqlval String

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Detection Dialect Engine Fmt_table List Printf Sqlval

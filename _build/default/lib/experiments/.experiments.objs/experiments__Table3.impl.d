@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Detection Dialect Engine Fmt_table List Pqs Printf Sqlval

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Array Dialect Engine Filename Fmt_table List Pqs Printf Sqlval String Sys

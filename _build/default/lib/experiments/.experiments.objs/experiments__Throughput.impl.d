@@ -1,0 +1,1 @@
+lib/experiments/throughput.ml: Dialect Fmt_table List Pqs Printf Sqlval Unix

@@ -1,0 +1,25 @@
+(** Shared detection harness: hunt every catalog bug once and reuse the
+    results across the Table 2/3 and Figure 2/3 reproductions. *)
+
+type outcome = {
+  bug : Engine.Bug.t;
+  report : Pqs.Bug_report.t option;  (** None = not detected in budget *)
+  queries_budget : int;
+}
+
+type t = outcome list
+
+(** Hunt each bug with the given per-seed query budget (seeds are retried
+    in order until a finding).  [progress] prints one line per bug. *)
+val run_all :
+  ?budget:int -> ?seeds:int list -> ?progress:bool -> unit -> t
+
+val detected : t -> outcome list
+val missed : t -> outcome list
+
+(** Detections grouped per dialect with the paper's status labels. *)
+val by_dialect : t -> Sqlval.Dialect.t -> outcome list
+
+(** Reduce every detection's report (expensive; cached in the outcome
+    list returned). *)
+val with_reductions : t -> t

@@ -1,0 +1,27 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let line cells =
+    "| "
+    ^ String.concat " | " (List.map2 (fun w c -> pad w c) widths cells)
+    ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  String.concat "\n" (line columns :: sep :: List.map line rows)
+
+let print ~title ~columns rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~columns rows)

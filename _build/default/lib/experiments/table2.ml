@@ -1,0 +1,58 @@
+(* Table 2 reproduction: reported bugs and their status.
+
+   Paper: 123 reports overall; per DBMS the fixed/verified/intended/
+   duplicate split (SQLite 65/0/4/2, MySQL 15/10/1/4, PostgreSQL 5/4/7/6).
+   Our catalog is scaled down by ~2.4x with the proportions preserved; a
+   "report" here is a catalog defect that PQS detected within the budget,
+   and its status column comes from the catalog metadata that mirrors how
+   the corresponding real report was resolved. *)
+
+open Sqlval
+
+let paper = function
+  | Dialect.Sqlite_like -> (65, 0, 4, 2)
+  | Dialect.Mysql_like -> (15, 10, 1, 4)
+  | Dialect.Postgres_like -> (5, 4, 7, 6)
+
+let measured (det : Detection.t) dialect =
+  let counted status =
+    Detection.by_dialect det dialect
+    |> List.filter (fun (o : Detection.outcome) ->
+           o.Detection.report <> None
+           && Engine.Bug.equal_status (Engine.Bug.info o.Detection.bug).Engine.Bug.status
+                status)
+    |> List.length
+  in
+  Engine.Bug.(counted Fixed, counted Verified, counted Intended, counted Duplicate)
+
+let run (det : Detection.t) =
+  let rows =
+    List.map
+      (fun d ->
+        let pf, pv, pi, pd = paper d in
+        let mf, mv, mi, md = measured det d in
+        let injected = List.length (Detection.by_dialect det d) in
+        [
+          Dialect.display_name d;
+          string_of_int injected;
+          Printf.sprintf "%d/%d/%d/%d" mf mv mi md;
+          Printf.sprintf "%d/%d/%d/%d" pf pv pi pd;
+        ])
+      Dialect.all
+  in
+  Fmt_table.print
+    ~title:
+      "Table 2 — reported bugs and status (fixed/verified/intended/duplicate)"
+    ~columns:[ "DBMS"; "injected"; "detected (measured)"; "paper" ]
+    rows;
+  let not_found = Detection.missed det in
+  if not_found <> [] then begin
+    Printf.printf "  not detected within budget:\n";
+    List.iter
+      (fun (o : Detection.outcome) ->
+        Printf.printf "    - %s\n" (Engine.Bug.show o.Detection.bug))
+      not_found
+  end;
+  Printf.printf
+    "  note: the catalog is the paper's 123 reports scaled by ~1/2.4 with \
+     per-DBMS and per-status proportions preserved (see DESIGN.md).\n"

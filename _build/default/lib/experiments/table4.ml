@@ -1,0 +1,139 @@
+(* Table 4 reproduction: testing-tool size and DBMS coverage.
+
+   Paper: per-DBMS SQLancer component LOC (SQLite 6,501 / MySQL 3,995 /
+   PostgreSQL 4,981, shared 918) against the DBMS LOC, plus line/branch
+   coverage of a 24h run (SQLite 43.0%, MySQL 24.4%, PostgreSQL 23.7%).
+
+   We measure (i) source LOC of the PQS library against the engine
+   substrate, with a per-dialect attribution proxy (lines inside
+   dialect-gated branches), and (ii) engine feature-point coverage of a
+   timed PQS run per dialect — the denominator includes feature groups the
+   tool never touches, mirroring the untested DBMS subsystems that depress
+   the paper's percentages. *)
+
+open Sqlval
+
+let rec find_repo_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_repo_root parent
+
+let loc_of_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+    |> List.fold_left
+         (fun acc f ->
+           let path = Filename.concat dir f in
+           let ic = open_in path in
+           let n = ref 0 in
+           (try
+              while true do
+                ignore (input_line ic);
+                incr n
+              done
+            with End_of_file -> ());
+           close_in ic;
+           acc + !n)
+         0
+
+let count_mentions dir needle =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.fold_left
+         (fun acc f ->
+           let ic = open_in (Filename.concat dir f) in
+           let n = ref 0 in
+           (try
+              while true do
+                let line = input_line ic in
+                let rec contains i =
+                  i + String.length needle <= String.length line
+                  && (String.sub line i (String.length needle) = needle
+                     || contains (i + 1))
+                in
+                if contains 0 then incr n
+              done
+            with End_of_file -> ());
+           close_in ic;
+           acc + !n)
+         0
+
+let coverage_run dialect ~queries =
+  let cov = Engine.Coverage.create () in
+  let config =
+    {
+      (Pqs.Runner.default_config ~seed:31 dialect) with
+      Pqs.Runner.coverage = Some cov;
+    }
+  in
+  ignore (Pqs.Runner.run ~max_queries:queries config);
+  cov
+
+let run ?(coverage_queries = 2000) () =
+  (match find_repo_root (Sys.getcwd ()) with
+  | None ->
+      Printf.printf
+        "\n== Table 4 — component LOC ==\n(source tree not found from cwd; \
+         skipping the LOC measurement)\n"
+  | Some root ->
+      let dir d = Filename.concat root d in
+      let pqs_loc = loc_of_dir (dir "lib/core") in
+      let engine_loc =
+        loc_of_dir (dir "lib/engine")
+        + loc_of_dir (dir "lib/storage")
+        + loc_of_dir (dir "lib/sqlval")
+        + loc_of_dir (dir "lib/sqlast")
+        + loc_of_dir (dir "lib/sqlparse")
+      in
+      let mentions d =
+        count_mentions (dir "lib/core") d + count_mentions (dir "lib/engine") d
+      in
+      let rows =
+        List.map
+          (fun (d, ctor, paper_loc, paper_cov) ->
+            [
+              Dialect.display_name d;
+              string_of_int (mentions ctor);
+              paper_loc;
+              paper_cov;
+            ])
+          [
+            (Dialect.Sqlite_like, "Sqlite_like", "6,501", "43.0%");
+            (Dialect.Mysql_like, "Mysql_like", "3,995", "24.4%");
+            (Dialect.Postgres_like, "Postgres_like", "4,981", "23.7%");
+          ]
+      in
+      Fmt_table.print
+        ~title:
+          (Printf.sprintf
+             "Table 4a — tool size: pqs library %d LOC vs engine substrate %d \
+              LOC (ratio %.2f); per-dialect rows count dialect-gated lines"
+             pqs_loc engine_loc
+             (float_of_int pqs_loc /. float_of_int (max 1 engine_loc)))
+        ~columns:[ "DBMS"; "dialect-gated lines"; "paper tool LOC"; "paper cov" ]
+        rows);
+  let rows =
+    List.map
+      (fun d ->
+        let cov = coverage_run d ~queries:coverage_queries in
+        [
+          Dialect.display_name d;
+          string_of_int (Engine.Coverage.points_hit cov);
+          string_of_int (Engine.Coverage.universe_size cov);
+          Printf.sprintf "%.1f%%" (100.0 *. Engine.Coverage.fraction cov);
+        ])
+      Dialect.all
+  in
+  Fmt_table.print
+    ~title:
+      (Printf.sprintf
+         "Table 4b — engine feature coverage of a %d-query PQS run (paper: \
+          43.0%% / 24.4%% / 23.7%% line coverage)"
+         coverage_queries)
+    ~columns:[ "DBMS"; "points hit"; "universe"; "coverage" ]
+    rows

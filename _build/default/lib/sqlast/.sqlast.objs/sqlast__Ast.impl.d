@@ -1,0 +1,1 @@
+lib/sqlast/ast.pp.ml: Collation Datatype List Option Ppx_deriving_runtime Sqlval Value

@@ -1,0 +1,1 @@
+lib/sqlast/sql_printer.pp.ml: Ast Buffer Collation Datatype Dialect Int64 List Option Sqlval String Value

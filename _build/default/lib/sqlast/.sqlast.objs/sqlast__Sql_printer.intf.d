@@ -1,0 +1,1 @@
+lib/sqlast/sql_printer.pp.mli: Ast Sqlval

@@ -1,0 +1,362 @@
+open Sqlval
+open Ast
+
+(* unary minus takes a trailing space: "--" would start a SQL comment *)
+let unop_to_sql = function
+  | Not -> "NOT "
+  | Neg -> "- "
+  | Pos -> "+"
+  | Bit_not -> "~"
+
+let binop_to_sql dialect = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Null_safe_eq -> (
+      match dialect with
+      | Dialect.Sqlite_like -> "IS"
+      | Dialect.Mysql_like -> "<=>"
+      | Dialect.Postgres_like -> "IS NOT DISTINCT FROM")
+  | And -> "AND"
+  | Or -> "OR"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Concat -> "||"
+  | Bit_and -> "&"
+  | Bit_or -> "|"
+  | Shift_left -> "<<"
+  | Shift_right -> ">>"
+
+let func_to_sql = function
+  | F_abs -> "ABS"
+  | F_length -> "LENGTH"
+  | F_lower -> "LOWER"
+  | F_upper -> "UPPER"
+  | F_coalesce -> "COALESCE"
+  | F_ifnull -> "IFNULL"
+  | F_nullif -> "NULLIF"
+  | F_typeof -> "TYPEOF"
+  | F_trim -> "TRIM"
+  | F_ltrim -> "LTRIM"
+  | F_rtrim -> "RTRIM"
+  | F_substr -> "SUBSTR"
+  | F_replace -> "REPLACE"
+  | F_instr -> "INSTR"
+  | F_hex -> "HEX"
+  | F_round -> "ROUND"
+  | F_sign -> "SIGN"
+  | F_least -> "LEAST"
+  | F_greatest -> "GREATEST"
+  | F_quote -> "QUOTE"
+
+let agg_to_sql = function
+  | A_count_star | A_count -> "COUNT"
+  | A_sum -> "SUM"
+  | A_avg -> "AVG"
+  | A_min -> "MIN"
+  | A_max -> "MAX"
+  | A_total -> "TOTAL"
+
+let rec expr dialect e =
+  let pe x = expr dialect x in
+  match e with
+  | Lit v -> Value.to_sql_literal v
+  | Col { table = None; column } -> column
+  | Col { table = Some t; column } -> t ^ "." ^ column
+  | Unary (op, a) -> "(" ^ unop_to_sql op ^ pe a ^ ")"
+  | Binary (op, a, b) ->
+      "(" ^ pe a ^ " " ^ binop_to_sql dialect op ^ " " ^ pe b ^ ")"
+  | Is { negated; arg; rhs } -> (
+      let neg = if negated then " NOT" else "" in
+      match rhs with
+      | Is_null -> "(" ^ pe arg ^ " IS" ^ neg ^ " NULL)"
+      | Is_true -> "(" ^ pe arg ^ " IS" ^ neg ^ " TRUE)"
+      | Is_false -> "(" ^ pe arg ^ " IS" ^ neg ^ " FALSE)"
+      | Is_expr b -> "(" ^ pe arg ^ " IS" ^ neg ^ " " ^ pe b ^ ")"
+      | Is_distinct_from b ->
+          let kw = if negated then " IS NOT DISTINCT FROM " else " IS DISTINCT FROM " in
+          "(" ^ pe arg ^ kw ^ pe b ^ ")")
+  | Between { negated; arg; lo; hi } ->
+      let neg = if negated then " NOT" else "" in
+      "(" ^ pe arg ^ neg ^ " BETWEEN " ^ pe lo ^ " AND " ^ pe hi ^ ")"
+  | In_list { negated; arg; list } ->
+      let neg = if negated then " NOT" else "" in
+      "(" ^ pe arg ^ neg ^ " IN (" ^ String.concat ", " (List.map pe list) ^ "))"
+  | Like { negated; arg; pattern; escape } ->
+      let neg = if negated then " NOT" else "" in
+      let esc =
+        match escape with None -> "" | Some x -> " ESCAPE " ^ pe x
+      in
+      "(" ^ pe arg ^ neg ^ " LIKE " ^ pe pattern ^ esc ^ ")"
+  | Glob { negated; arg; pattern } ->
+      let neg = if negated then " NOT" else "" in
+      "(" ^ pe arg ^ neg ^ " GLOB " ^ pe pattern ^ ")"
+  | Cast (ty, a) -> (
+      match (dialect, ty) with
+      | Dialect.Mysql_like, Datatype.Int { unsigned = true; _ } ->
+          "CAST(" ^ pe a ^ " AS UNSIGNED)"
+      | Dialect.Mysql_like, Datatype.Int { unsigned = false; _ } ->
+          "CAST(" ^ pe a ^ " AS SIGNED)"
+      | _ ->
+          let name = match Datatype.to_sql ty with "" -> "NUMERIC" | s -> s in
+          "CAST(" ^ pe a ^ " AS " ^ name ^ ")")
+  | Func (f, args) ->
+      func_to_sql f ^ "(" ^ String.concat ", " (List.map pe args) ^ ")"
+  | Agg (A_count_star, _) -> "COUNT(*)"
+  | Agg (f, arg) ->
+      let inner = match arg with None -> "*" | Some a -> pe a in
+      agg_to_sql f ^ "(" ^ inner ^ ")"
+  | Case { operand; branches; else_ } ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf "CASE";
+      Option.iter (fun o -> Buffer.add_string buf (" " ^ pe o)) operand;
+      List.iter
+        (fun (c, r) ->
+          Buffer.add_string buf (" WHEN " ^ pe c ^ " THEN " ^ pe r))
+        branches;
+      Option.iter (fun x -> Buffer.add_string buf (" ELSE " ^ pe x)) else_;
+      Buffer.add_string buf " END";
+      Buffer.contents buf
+  | Collate (a, c) -> "(" ^ pe a ^ " COLLATE " ^ Collation.to_keyword c ^ ")"
+
+let select_item dialect = function
+  | Star -> "*"
+  | Table_star t -> t ^ ".*"
+  | Sel_expr (e, None) -> expr dialect e
+  | Sel_expr (e, Some alias) -> expr dialect e ^ " AS " ^ alias
+
+let rec from_item dialect = function
+  | F_table { name; alias = None } -> name
+  | F_table { name; alias = Some a } -> name ^ " AS " ^ a
+  | F_join { kind; left; right; on } ->
+      let kw =
+        match kind with
+        | Inner -> " JOIN "
+        | Left -> " LEFT JOIN "
+        | Cross -> " CROSS JOIN "
+      in
+      let on_s =
+        match on with None -> "" | Some e -> " ON " ^ expr dialect e
+      in
+      from_item dialect left ^ kw ^ from_item dialect right ^ on_s
+  | F_sub { sub; alias } -> "(" ^ query dialect sub ^ ") AS " ^ alias
+
+and select dialect s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.sel_distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map (select_item dialect) s.sel_items));
+  if s.sel_from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map (from_item dialect) s.sel_from))
+  end;
+  Option.iter
+    (fun w -> Buffer.add_string buf (" WHERE " ^ expr dialect w))
+    s.sel_where;
+  if s.sel_group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map (expr dialect) s.sel_group_by));
+  Option.iter
+    (fun h -> Buffer.add_string buf (" HAVING " ^ expr dialect h))
+    s.sel_having;
+  if s.sel_order_by <> [] then begin
+    let one (e, dir) =
+      expr dialect e ^ match dir with Asc -> " ASC" | Desc -> " DESC"
+    in
+    Buffer.add_string buf
+      (" ORDER BY " ^ String.concat ", " (List.map one s.sel_order_by))
+  end;
+  Option.iter
+    (fun n -> Buffer.add_string buf (" LIMIT " ^ Int64.to_string n))
+    s.sel_limit;
+  Option.iter
+    (fun n -> Buffer.add_string buf (" OFFSET " ^ Int64.to_string n))
+    s.sel_offset;
+  Buffer.contents buf
+
+and query dialect = function
+  | Q_select s -> select dialect s
+  | Q_values rows ->
+      let one row =
+        "(" ^ String.concat ", " (List.map (expr dialect) row) ^ ")"
+      in
+      "VALUES " ^ String.concat ", " (List.map one rows)
+  | Q_compound (op, a, b) ->
+      let kw =
+        match op with
+        | Union -> " UNION "
+        | Union_all -> " UNION ALL "
+        | Intersect -> " INTERSECT "
+        | Except -> " EXCEPT "
+      in
+      query dialect a ^ kw ^ query dialect b
+
+let col_constraint dialect = function
+  | C_primary_key -> "PRIMARY KEY"
+  | C_unique -> "UNIQUE"
+  | C_not_null -> "NOT NULL"
+  | C_default e -> "DEFAULT " ^ expr dialect e
+  | C_check e -> "CHECK (" ^ expr dialect e ^ ")"
+
+let column_def dialect c =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf c.col_name;
+  let ty = Datatype.to_sql c.col_type in
+  if ty <> "" then Buffer.add_string buf (" " ^ ty);
+  Option.iter
+    (fun coll ->
+      Buffer.add_string buf (" COLLATE " ^ Collation.to_keyword coll))
+    c.col_collate;
+  List.iter
+    (fun k -> Buffer.add_string buf (" " ^ col_constraint dialect k))
+    c.col_constraints;
+  Buffer.contents buf
+
+let table_constraint dialect = function
+  | T_primary_key cols -> "PRIMARY KEY (" ^ String.concat ", " cols ^ ")"
+  | T_unique cols -> "UNIQUE (" ^ String.concat ", " cols ^ ")"
+  | T_check e -> "CHECK (" ^ expr dialect e ^ ")"
+
+let engine_name = function
+  | E_innodb -> "InnoDB"
+  | E_memory -> "MEMORY"
+  | E_myisam -> "MyISAM"
+  | E_csv -> "CSV"
+
+let create_table dialect ct =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "CREATE TABLE ";
+  if ct.ct_if_not_exists then Buffer.add_string buf "IF NOT EXISTS ";
+  Buffer.add_string buf ct.ct_name;
+  let cols = List.map (column_def dialect) ct.ct_columns in
+  let constraints = List.map (table_constraint dialect) ct.ct_constraints in
+  Buffer.add_string buf ("(" ^ String.concat ", " (cols @ constraints) ^ ")");
+  Option.iter
+    (fun parent -> Buffer.add_string buf (" INHERITS (" ^ parent ^ ")"))
+    ct.ct_inherits;
+  if ct.ct_without_rowid then Buffer.add_string buf " WITHOUT ROWID";
+  Option.iter
+    (fun e -> Buffer.add_string buf (" ENGINE = " ^ engine_name e))
+    ct.ct_engine;
+  Buffer.contents buf
+
+let create_index dialect ci =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "CREATE ";
+  if ci.ci_unique then Buffer.add_string buf "UNIQUE ";
+  Buffer.add_string buf "INDEX ";
+  if ci.ci_if_not_exists then Buffer.add_string buf "IF NOT EXISTS ";
+  Buffer.add_string buf (ci.ci_name ^ " ON " ^ ci.ci_table);
+  let one ic =
+    let base =
+      match ic.ic_expr with
+      | Col { table = None; column } -> column
+      | e -> "(" ^ expr dialect e ^ ")"
+    in
+    let coll =
+      match ic.ic_collate with
+      | None -> ""
+      | Some c -> " COLLATE " ^ Collation.to_keyword c
+    in
+    base ^ coll ^ if ic.ic_desc then " DESC" else ""
+  in
+  Buffer.add_string buf ("(" ^ String.concat ", " (List.map one ci.ci_columns) ^ ")");
+  Option.iter
+    (fun w -> Buffer.add_string buf (" WHERE " ^ expr dialect w))
+    ci.ci_where;
+  Buffer.contents buf
+
+let conflict_suffix dialect = function
+  | On_conflict_abort -> ("", "")
+  | On_conflict_ignore -> (
+      match dialect with
+      | Dialect.Sqlite_like -> (" OR IGNORE", "")
+      | Dialect.Mysql_like -> (" IGNORE", "")
+      | Dialect.Postgres_like -> ("", " ON CONFLICT DO NOTHING"))
+  | On_conflict_replace -> (
+      match dialect with
+      | Dialect.Sqlite_like -> (" OR REPLACE", "")
+      | Dialect.Mysql_like | Dialect.Postgres_like -> (" OR REPLACE", ""))
+
+let stmt dialect st =
+  match st with
+  | Create_table ct -> create_table dialect ct
+  | Drop_table { if_exists; name } ->
+      "DROP TABLE " ^ (if if_exists then "IF EXISTS " else "") ^ name
+  | Alter_table { table; action } -> (
+      let prefix = "ALTER TABLE " ^ table ^ " " in
+      match action with
+      | Rename_table n -> prefix ^ "RENAME TO " ^ n
+      | Rename_column { old_name; new_name } ->
+          prefix ^ "RENAME COLUMN " ^ old_name ^ " TO " ^ new_name
+      | Add_column c -> prefix ^ "ADD COLUMN " ^ column_def dialect c
+      | Drop_column c -> prefix ^ "DROP COLUMN " ^ c)
+  | Create_index ci -> create_index dialect ci
+  | Drop_index { if_exists; name } ->
+      "DROP INDEX " ^ (if if_exists then "IF EXISTS " else "") ^ name
+  | Reindex None -> "REINDEX"
+  | Reindex (Some name) -> "REINDEX " ^ name
+  | Create_view { name; query = q } ->
+      "CREATE VIEW " ^ name ^ " AS " ^ query dialect q
+  | Drop_view { if_exists; name } ->
+      "DROP VIEW " ^ (if if_exists then "IF EXISTS " else "") ^ name
+  | Insert { table; columns; rows; action } ->
+      let kw, suffix = conflict_suffix dialect action in
+      let cols =
+        if columns = [] then ""
+        else "(" ^ String.concat ", " columns ^ ")"
+      in
+      let one row =
+        "(" ^ String.concat ", " (List.map (expr dialect) row) ^ ")"
+      in
+      "INSERT" ^ kw ^ " INTO " ^ table ^ cols ^ " VALUES "
+      ^ String.concat ", " (List.map one rows)
+      ^ suffix
+  | Update { table; assignments; where; action } ->
+      let kw =
+        match (action, dialect) with
+        | On_conflict_abort, _ -> ""
+        | On_conflict_ignore, Dialect.Mysql_like -> " IGNORE"
+        | On_conflict_ignore, _ -> " OR IGNORE"
+        | On_conflict_replace, _ -> " OR REPLACE"
+      in
+      let one (c, e) = c ^ " = " ^ expr dialect e in
+      "UPDATE" ^ kw ^ " " ^ table ^ " SET "
+      ^ String.concat ", " (List.map one assignments)
+      ^ (match where with None -> "" | Some w -> " WHERE " ^ expr dialect w)
+  | Delete { table; where } ->
+      "DELETE FROM " ^ table
+      ^ (match where with None -> "" | Some w -> " WHERE " ^ expr dialect w)
+  | Select_stmt q -> query dialect q
+  | Vacuum { full } -> if full then "VACUUM FULL" else "VACUUM"
+  | Analyze None -> "ANALYZE"
+  | Analyze (Some t) -> "ANALYZE " ^ t
+  | Check_table { table; for_upgrade } ->
+      "CHECK TABLE " ^ table ^ if for_upgrade then " FOR UPGRADE" else ""
+  | Repair_table t -> "REPAIR TABLE " ^ t
+  | Set_option { global; name; value } ->
+      let scope = if global then "GLOBAL " else "" in
+      "SET " ^ scope ^ name ^ " = " ^ Value.to_sql_literal value
+  | Pragma { name; value } -> (
+      match value with
+      | None -> "PRAGMA " ^ name
+      | Some v -> "PRAGMA " ^ name ^ " = " ^ Value.to_sql_literal v)
+  | Create_statistics { name; table; columns } ->
+      "CREATE STATISTICS " ^ name ^ " ON " ^ String.concat ", " columns
+      ^ " FROM " ^ table
+  | Discard_all -> "DISCARD ALL"
+  | Begin_txn -> "BEGIN"
+  | Commit_txn -> "COMMIT"
+  | Rollback_txn -> "ROLLBACK"
+  | Explain q -> "EXPLAIN " ^ query dialect q
+
+let script dialect stmts =
+  String.concat "\n" (List.map (fun s -> stmt dialect s ^ ";") stmts)

@@ -1,0 +1,15 @@
+(** Rendering of the AST as SQL text in each dialect's concrete syntax.
+
+    Subexpressions are fully parenthesized so that printing followed by
+    parsing round-trips without a precedence table.  Dialect-specific
+    spellings: the null-safe equality prints as [IS] in sqlite and [<=>] in
+    mysql and [IS NOT DISTINCT FROM] in postgres; options print as [PRAGMA]
+    in sqlite and [SET] elsewhere; and so on. *)
+
+val expr : Sqlval.Dialect.t -> Ast.expr -> string
+val query : Sqlval.Dialect.t -> Ast.query -> string
+val stmt : Sqlval.Dialect.t -> Ast.stmt -> string
+
+(** Statements joined by [";\n"], each terminated, ready for a bug report
+    (paper Section 4.3 counts these lines). *)
+val script : Sqlval.Dialect.t -> Ast.stmt list -> string

@@ -1,0 +1,1 @@
+lib/sqlparse/lexer.ml: Buffer Char Format Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/sqlparse/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlparse/parser.ml: Array Collation Datatype Format Int64 Lexer List Printf Sqlast Sqlval String Value

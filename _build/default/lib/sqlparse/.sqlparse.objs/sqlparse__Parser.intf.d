@@ -1,0 +1,1 @@
+lib/sqlparse/parser.mli: Format Sqlast

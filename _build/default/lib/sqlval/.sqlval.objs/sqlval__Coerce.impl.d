@@ -1,0 +1,1 @@
+lib/sqlval/coerce.pp.ml: Datatype Dialect Float Int64 Numeric Printf String Tvl Value

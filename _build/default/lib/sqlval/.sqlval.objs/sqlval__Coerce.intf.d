@@ -1,0 +1,1 @@
+lib/sqlval/coerce.pp.mli: Datatype Dialect Tvl Value

@@ -1,0 +1,1 @@
+lib/sqlval/collation.pp.ml: Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/sqlval/collation.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlval/datatype.pp.ml: Filename Int64 Ppx_deriving_runtime String Value

@@ -1,0 +1,1 @@
+lib/sqlval/datatype.pp.mli: Format Value

@@ -1,0 +1,1 @@
+lib/sqlval/dialect.pp.ml: Ppx_deriving_runtime String

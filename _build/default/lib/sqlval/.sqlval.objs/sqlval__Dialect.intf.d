@@ -1,0 +1,1 @@
+lib/sqlval/dialect.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlval/like_matcher.pp.mli:

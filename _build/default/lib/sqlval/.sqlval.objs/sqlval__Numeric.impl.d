@@ -1,0 +1,1 @@
+lib/sqlval/numeric.pp.ml: Float Int64 String

@@ -1,0 +1,1 @@
+lib/sqlval/numeric.pp.mli:

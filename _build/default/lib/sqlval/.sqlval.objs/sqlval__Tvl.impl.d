@@ -1,0 +1,1 @@
+lib/sqlval/tvl.pp.ml: Ppx_deriving_runtime

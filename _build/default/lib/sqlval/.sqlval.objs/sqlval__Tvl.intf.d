@@ -1,0 +1,1 @@
+lib/sqlval/tvl.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlval/value.pp.ml: Bool Buffer Char Collation Float Hashtbl Int64 Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/sqlval/value.pp.mli: Collation Format

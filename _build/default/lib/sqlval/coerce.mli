@@ -1,0 +1,44 @@
+(** Implicit and explicit value conversions, per dialect.
+
+    The paper attributes the higher bug counts in SQLite and MySQL largely to
+    their implicit conversions (Section 5); this module implements the
+    *correct* conversion semantics for each personality.  The engine's
+    evaluator goes through these functions (and injects its faults around
+    them), and the PQS oracle interpreter uses them as ground truth. *)
+
+type error = string
+(** Conversion errors carry the engine-style message text
+    (e.g. ["argument of WHERE must be type boolean"]). *)
+
+(** Truth value of a value in a boolean context.  The sqlite-like and
+    mysql-like dialects coerce any value (TEXT via its numeric prefix); the
+    postgres-like dialect only accepts BOOLEAN and NULL. *)
+val to_tvl : Dialect.t -> Value.t -> (Tvl.t, error) result
+
+(** Coercion of an operand into a numeric context (arithmetic): NULL stays
+    NULL, text/blob parse their numeric prefix (0 when none), booleans map
+    to 0/1.  Never fails; postgres-like never calls it on non-numerics. *)
+val to_numeric : Value.t -> Value.t
+
+(** Canonical TEXT rendering used by CAST-to-text and text contexts. *)
+val to_text : Dialect.t -> Value.t -> string
+
+(** SQLite column affinity applied on INSERT (and comparison rewriting). *)
+val apply_affinity : Datatype.affinity -> Value.t -> Value.t
+
+(** Conversion applied when storing a value into a column, per dialect:
+    sqlite applies affinity and always succeeds; mysql converts and clamps
+    out-of-range integers (non-strict mode); postgres type-checks strictly,
+    allowing only integer-to-real widening. *)
+val store : Dialect.t -> Datatype.t -> Value.t -> (Value.t, error) result
+
+(** SQLite's CAST-to-INTEGER semantics (truncation toward zero, numeric
+    prefix of text, clamping at the int64 bounds); also used by the bitwise
+    operators of the non-strict dialects. *)
+val sqlite_cast_int : Value.t -> Value.t
+
+(** Explicit CAST.  Notable cases: mysql's [CAST(x AS UNSIGNED)] of a
+    negative integer yields the (large) unsigned value, represented as an
+    exact-enough REAL above [Int64.max_int] (documented substitution);
+    postgres rejects malformed text with "invalid input syntax". *)
+val cast : Dialect.t -> Datatype.t -> Value.t -> (Value.t, error) result

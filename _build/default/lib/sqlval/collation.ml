@@ -1,0 +1,30 @@
+type t = Binary | Nocase | Rtrim [@@deriving show { with_path = false }, eq]
+
+let all = [ Binary; Nocase; Rtrim ]
+
+let to_keyword = function
+  | Binary -> "BINARY"
+  | Nocase -> "NOCASE"
+  | Rtrim -> "RTRIM"
+
+let of_keyword s =
+  match String.uppercase_ascii s with
+  | "BINARY" -> Some Binary
+  | "NOCASE" -> Some Nocase
+  | "RTRIM" -> Some Rtrim
+  | _ -> None
+
+let lower_ascii = String.lowercase_ascii
+
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let key c s =
+  match c with Binary -> s | Nocase -> lower_ascii s | Rtrim -> rtrim s
+
+let compare c a b = String.compare (key c a) (key c b)
+let equal_under c a b = compare c a b = 0

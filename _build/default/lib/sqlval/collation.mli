@@ -1,0 +1,29 @@
+(** Text collating sequences.
+
+    The paper's SQLite findings exercised non-default collations heavily
+    (NOCASE and RTRIM appear in Listings 4, 5 and 7); these are the three
+    built-in SQLite collations. *)
+
+type t = Binary | Nocase | Rtrim
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val all : t list
+
+(** SQL keyword spelling, e.g. ["NOCASE"]. *)
+val to_keyword : t -> string
+
+val of_keyword : string -> t option
+
+(** [compare c a b] compares [a] and [b] under collation [c]:
+    - [Binary] is byte-wise comparison;
+    - [Nocase] folds ASCII letters to lower case first;
+    - [Rtrim] ignores trailing spaces on both operands. *)
+val compare : t -> string -> string -> int
+
+val equal_under : t -> string -> string -> bool
+
+(** Canonical key of a string under a collation: two strings compare equal
+    under [c] iff their keys are byte-equal.  Used for hashing / DISTINCT. *)
+val key : t -> string -> string

@@ -1,0 +1,88 @@
+let fold_case case_sensitive c =
+  if case_sensitive then c else Char.lowercase_ascii c
+
+(* Backtracking matcher.  [pi]/[ti] walk pattern/text; on a '%' we remember
+   the position and retry with a longer consumed run when a later mismatch
+   occurs.  Complexity is fine for the short strings PQS generates. *)
+let like ~case_sensitive ?escape ~pattern text =
+  let plen = String.length pattern and tlen = String.length text in
+  let fc = fold_case case_sensitive in
+  let is_escape c = match escape with Some e -> c = e | None -> false in
+  let rec matches pi ti =
+    if pi >= plen then ti >= tlen
+    else
+      let c = pattern.[pi] in
+      if is_escape c && pi + 1 < plen then
+        ti < tlen && fc text.[ti] = fc pattern.[pi + 1] && matches (pi + 2) (ti + 1)
+      else
+        match c with
+        | '%' ->
+            (* collapse consecutive wildcards, then try every split point *)
+            if pi + 1 < plen && pattern.[pi + 1] = '%' then matches (pi + 1) ti
+            else
+              let rec try_from k = k <= tlen && (matches (pi + 1) k || try_from (k + 1)) in
+              try_from ti
+        | '_' -> ti < tlen && matches (pi + 1) (ti + 1)
+        | c -> ti < tlen && fc text.[ti] = fc c && matches (pi + 1) (ti + 1)
+  in
+  matches 0 0
+
+(* Parse a GLOB character class starting after '['; returns (matcher, next
+   index after ']').  An unterminated class matches nothing, like SQLite. *)
+let parse_class pattern pi =
+  let plen = String.length pattern in
+  let negated = pi < plen && (pattern.[pi] = '^' || pattern.[pi] = '!') in
+  let start = if negated then pi + 1 else pi in
+  let rec collect i acc =
+    if i >= plen then None
+    else if pattern.[i] = ']' && i > start then Some (acc, i + 1)
+    else if i + 2 < plen && pattern.[i + 1] = '-' && pattern.[i + 2] <> ']' then
+      collect (i + 3) ((pattern.[i], pattern.[i + 2]) :: acc)
+    else collect (i + 1) ((pattern.[i], pattern.[i]) :: acc)
+  in
+  match collect start [] with
+  | None -> None
+  | Some (ranges, next) ->
+      let member c = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+      let matcher c = if negated then not (member c) else member c in
+      Some (matcher, next)
+
+let glob ~pattern text =
+  let plen = String.length pattern and tlen = String.length text in
+  let rec matches pi ti =
+    if pi >= plen then ti >= tlen
+    else
+      match pattern.[pi] with
+      | '*' ->
+          if pi + 1 < plen && pattern.[pi + 1] = '*' then matches (pi + 1) ti
+          else
+            let rec try_from k = k <= tlen && (matches (pi + 1) k || try_from (k + 1)) in
+            try_from ti
+      | '?' -> ti < tlen && matches (pi + 1) (ti + 1)
+      | '[' -> (
+          match parse_class pattern (pi + 1) with
+          | None -> false
+          | Some (member, next) -> ti < tlen && member text.[ti] && matches next (ti + 1))
+      | c -> ti < tlen && text.[ti] = c && matches (pi + 1) (ti + 1)
+  in
+  matches 0 0
+
+let literal_prefix ?escape pattern =
+  let buf = Buffer.create (String.length pattern) in
+  let is_escape c = match escape with Some e -> c = e | None -> false in
+  let rec walk i =
+    if i >= String.length pattern then ()
+    else
+      let c = pattern.[i] in
+      if is_escape c && i + 1 < String.length pattern then begin
+        Buffer.add_char buf pattern.[i + 1];
+        walk (i + 2)
+      end
+      else if c = '%' || c = '_' then ()
+      else begin
+        Buffer.add_char buf c;
+        walk (i + 1)
+      end
+  in
+  walk 0;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** SQL pattern operators.
+
+    The paper notes the LIKE operator was one of the costlier parts of
+    SQLancer's interpreter (over 50 LOC) and the source of several SQLite
+    optimization bugs (Listing 7); this module is the single shared,
+    well-tested implementation. *)
+
+(** [like ~case_sensitive ~escape pattern text]: ['%'] matches any run
+    (including empty), ['_'] one character; a character preceded by [escape]
+    matches itself literally. *)
+val like :
+  case_sensitive:bool -> ?escape:char -> pattern:string -> string -> bool
+
+(** SQLite GLOB: ['*'] any run, ['?'] one char, [[...]] character class with
+    ranges and [^] negation; always case sensitive. *)
+val glob : pattern:string -> string -> bool
+
+(** Does the pattern start with a literal (non-wildcard) prefix?  Returns the
+    longest such prefix; the engine's LIKE-prefix index optimization uses it
+    (paper Listing 7's bug site). *)
+val literal_prefix : ?escape:char -> string -> string

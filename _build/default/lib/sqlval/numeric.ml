@@ -1,0 +1,117 @@
+let checked_add a b =
+  let r = Int64.add a b in
+  (* overflow iff operands share a sign that the result does not *)
+  if Int64.logand (Int64.logxor a r) (Int64.logxor b r) < 0L then None
+  else Some r
+
+let checked_sub a b =
+  let r = Int64.sub a b in
+  if Int64.logand (Int64.logxor a b) (Int64.logxor a r) < 0L then None
+  else Some r
+
+let checked_mul a b =
+  if a = 0L || b = 0L then Some 0L
+  else
+    let r = Int64.mul a b in
+    if a = -1L && b = Int64.min_int then None
+    else if b = -1L && a = Int64.min_int then None
+    else if Int64.div r b <> a then None
+    else Some r
+
+let checked_neg a = if a = Int64.min_int then None else Some (Int64.neg a)
+
+let checked_div a b =
+  if b = 0L then None
+  else if a = Int64.min_int && b = -1L then None
+  else Some (Int64.div a b)
+
+let checked_rem a b =
+  if b = 0L then None
+  else if a = Int64.min_int && b = -1L then Some 0L
+  else Some (Int64.rem a b)
+
+let unsigned_compare = Int64.unsigned_compare
+
+let unsigned_to_float bits =
+  if bits >= 0L then Int64.to_float bits
+  else Int64.to_float bits +. 18446744073709551616.0
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Longest numeric prefix, SQLite-style: optional sign, digits, optional
+   fraction and exponent.  A prefix that is only a sign or "." is not
+   numeric. *)
+let scan_prefix s =
+  let n = String.length s in
+  let i = ref 0 in
+  let has_digits = ref false in
+  let is_real = ref false in
+  if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+  while !i < n && is_digit s.[!i] do
+    has_digits := true;
+    incr i
+  done;
+  if !i < n && s.[!i] = '.' then begin
+    let j = ref (!i + 1) in
+    let frac = ref false in
+    while !j < n && is_digit s.[!j] do
+      frac := true;
+      incr j
+    done;
+    if !frac || !has_digits then begin
+      is_real := true;
+      has_digits := !has_digits || !frac;
+      i := !j
+    end
+  end;
+  if !has_digits && !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+    let j = ref (!i + 1) in
+    if !j < n && (s.[!j] = '+' || s.[!j] = '-') then incr j;
+    let exp_digits = ref false in
+    while !j < n && is_digit s.[!j] do
+      exp_digits := true;
+      incr j
+    done;
+    if !exp_digits then begin
+      is_real := true;
+      i := !j
+    end
+  end;
+  if !has_digits then Some (String.sub s 0 !i, !is_real) else None
+
+let numeric_prefix s =
+  match scan_prefix (String.trim s) with
+  | None -> `None
+  | Some (prefix, is_real) -> (
+      if is_real then
+        match float_of_string_opt prefix with
+        | Some f -> `Real f
+        | None -> `None
+      else
+        match Int64.of_string_opt prefix with
+        | Some i -> `Int i
+        | None -> (
+            (* integer literal too large for int64: SQLite falls back to real *)
+            match float_of_string_opt prefix with
+            | Some f -> `Real f
+            | None -> `None))
+
+let parse_exact s =
+  let t = String.trim s in
+  match scan_prefix t with
+  | Some (prefix, is_real) when String.length prefix = String.length t -> (
+      if is_real then
+        match float_of_string_opt prefix with
+        | Some f -> Some (`Real f)
+        | None -> None
+      else
+        match Int64.of_string_opt prefix with
+        | Some i -> Some (`Int i)
+        | None -> (
+            match float_of_string_opt prefix with
+            | Some f -> Some (`Real f)
+            | None -> None))
+  | _ -> None
+
+let real_is_exact_int f =
+  Float.is_integer f && f >= -9.007199254740992e15 && f <= 9.007199254740992e15

@@ -1,0 +1,38 @@
+(** Overflow-aware numeric primitives shared by the engine evaluator and the
+    PQS oracle interpreter.
+
+    Integer arithmetic is exact on int64 with explicit overflow reporting;
+    each dialect maps overflow to its own behaviour (sqlite promotes to REAL,
+    mysql and postgres raise an out-of-range error). *)
+
+val checked_add : int64 -> int64 -> int64 option
+val checked_sub : int64 -> int64 -> int64 option
+val checked_mul : int64 -> int64 -> int64 option
+
+(** [checked_neg Int64.min_int = None]. *)
+val checked_neg : int64 -> int64 option
+
+(** Signed division truncating toward zero; [None] on division by zero or
+    [min_int / -1] overflow. *)
+val checked_div : int64 -> int64 -> int64 option
+
+val checked_rem : int64 -> int64 -> int64 option
+
+(** Unsigned 64-bit comparison of two bit patterns. *)
+val unsigned_compare : int64 -> int64 -> int
+
+(** Value of the bit pattern interpreted as unsigned, as a float (exact up to
+    2^53, approximate above — documented substitution for MySQL's unsigned
+    BIGINT). *)
+val unsigned_to_float : int64 -> float
+
+(** Parse the longest numeric prefix of a string the way SQLite coerces TEXT
+    in numeric contexts: ["12abc"] is [`Int 12L], ["1.5x"] is [`Real 1.5],
+    ["abc"] is [`None]. *)
+val numeric_prefix : string -> [ `Int of int64 | `Real of float | `None ]
+
+(** Parse a full numeric string ([None] if trailing garbage). *)
+val parse_exact : string -> [ `Int of int64 | `Real of float ] option
+
+(** Does the float hold an integral value exactly representable as int64? *)
+val real_is_exact_int : float -> bool

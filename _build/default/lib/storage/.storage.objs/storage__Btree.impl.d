@@ -1,0 +1,1 @@
+lib/storage/btree.pp.ml: Array List

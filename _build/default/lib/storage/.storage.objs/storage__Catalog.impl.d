@@ -1,0 +1,1 @@
+lib/storage/catalog.pp.ml: Heap Index List Schema Sqlast String

@@ -1,0 +1,1 @@
+lib/storage/catalog.pp.mli: Heap Index Schema Sqlast

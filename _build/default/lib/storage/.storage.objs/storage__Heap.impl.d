@@ -1,0 +1,1 @@
+lib/storage/heap.pp.ml: Hashtbl Int64 List Row

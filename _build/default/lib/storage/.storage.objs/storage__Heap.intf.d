@@ -1,0 +1,1 @@
+lib/storage/heap.pp.mli: Hashtbl Row Sqlval

@@ -1,0 +1,1 @@
+lib/storage/index.pp.ml: Array Btree Collation Int64 List Option Sqlast Sqlval Value

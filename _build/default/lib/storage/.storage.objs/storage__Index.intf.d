@@ -1,0 +1,1 @@
+lib/storage/index.pp.mli: Collation Sqlast Sqlval Value

@@ -1,0 +1,1 @@
+lib/storage/row.pp.ml: Array Format Sqlval String Value

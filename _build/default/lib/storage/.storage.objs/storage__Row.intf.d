@@ -1,0 +1,1 @@
+lib/storage/row.pp.mli: Format Sqlval

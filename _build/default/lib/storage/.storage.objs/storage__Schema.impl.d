@@ -1,0 +1,1 @@
+lib/storage/schema.pp.ml: Array Collation Datatype List Sqlast Sqlval String

@@ -1,0 +1,1 @@
+lib/storage/schema.pp.mli: Collation Datatype Sqlast Sqlval

@@ -1,0 +1,57 @@
+(* Table heap: rowid-addressed row storage.  Scan order is rowid order, as
+   in a rowid table.  Sized for PQS workloads (tens of rows, paper
+   Section 3.4), so simplicity beats asymptotics. *)
+
+type t = {
+  mutable rows : (int64, Row.t) Hashtbl.t;
+  mutable next_rowid : int64;
+}
+
+let create () = { rows = Hashtbl.create 16; next_rowid = 1L }
+let row_count h = Hashtbl.length h.rows
+
+let alloc_rowid h =
+  let id = h.next_rowid in
+  h.next_rowid <- Int64.add id 1L;
+  id
+
+let insert h values =
+  let rowid = alloc_rowid h in
+  let row = Row.make ~rowid values in
+  Hashtbl.replace h.rows rowid row;
+  row
+
+(* Insert preserving a caller-chosen rowid (used by OR REPLACE re-insertion
+   and by transaction rollback). *)
+let insert_with_rowid h ~rowid values =
+  if rowid >= h.next_rowid then h.next_rowid <- Int64.add rowid 1L;
+  let row = Row.make ~rowid values in
+  Hashtbl.replace h.rows rowid row;
+  row
+
+let delete h rowid = Hashtbl.remove h.rows rowid
+let find h rowid = Hashtbl.find_opt h.rows rowid
+
+let rowids_sorted h =
+  Hashtbl.fold (fun id _ acc -> id :: acc) h.rows [] |> List.sort Int64.compare
+
+let iter f h =
+  List.iter (fun id -> f (Hashtbl.find h.rows id)) (rowids_sorted h)
+
+let to_list h = List.map (fun id -> Hashtbl.find h.rows id) (rowids_sorted h)
+
+let clear h =
+  Hashtbl.reset h.rows;
+  h.next_rowid <- 1L
+
+let copy h = { rows = Hashtbl.copy h.rows; next_rowid = h.next_rowid }
+
+let deep_copy h =
+  let rows = Hashtbl.create (Hashtbl.length h.rows) in
+  Hashtbl.iter (fun id r -> Hashtbl.replace rows id (Row.copy r)) h.rows;
+  { rows; next_rowid = h.next_rowid }
+
+let nth_row h n =
+  match List.nth_opt (rowids_sorted h) n with
+  | None -> None
+  | Some id -> Hashtbl.find_opt h.rows id

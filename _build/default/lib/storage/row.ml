@@ -1,0 +1,24 @@
+(* A stored row: the engine-assigned rowid plus one value per column in the
+   table's column order.  Rowids are stable across updates; WITHOUT ROWID
+   tables (sqlite) still carry an internal id used as heap handle. *)
+
+open Sqlval
+
+type t = { rowid : int64; values : Value.t array }
+
+let make ~rowid values = { rowid; values }
+let get r i = r.values.(i)
+let set r i v = r.values.(i) <- v
+let copy r = { r with values = Array.copy r.values }
+let width r = Array.length r.values
+
+let equal a b =
+  a.rowid = b.rowid
+  && Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let pp fmt r =
+  Format.fprintf fmt "#%Ld(%s)" r.rowid
+    (String.concat "|" (Array.to_list (Array.map Value.to_display r.values)))
+
+let show r = Format.asprintf "%a" pp r

@@ -1,0 +1,20 @@
+(** A stored row: the engine-assigned rowid plus one value per column in
+    the table's column order.
+
+    Rowids are stable across updates and serve as the join between heap
+    and index entries; WITHOUT ROWID tables (sqlite) still carry an
+    internal id used as the heap handle. *)
+
+type t = { rowid : int64; values : Sqlval.Value.t array }
+
+val make : rowid:int64 -> Sqlval.Value.t array -> t
+val get : t -> int -> Sqlval.Value.t
+val set : t -> int -> Sqlval.Value.t -> unit
+
+(** Copy with a fresh values array (rows are otherwise shared mutable). *)
+val copy : t -> t
+
+val width : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

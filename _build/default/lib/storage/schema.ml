@@ -1,0 +1,93 @@
+(* Resolved (post-DDL) table schemas, as the executor sees them.  Unlike the
+   AST's CREATE TABLE, constraints are normalised: the primary key is an
+   ordered column list, per-column UNIQUE constraints are recorded on the
+   column, and every column carries its resolved collation and affinity. *)
+
+open Sqlval
+
+type column = {
+  name : string;
+  ty : Datatype.t;
+  collation : Collation.t;
+  not_null : bool;
+  default : Sqlast.Ast.expr option;
+  in_primary_key : bool;
+  single_unique : bool; (* column-level UNIQUE constraint *)
+}
+
+let column ?(ty = Datatype.Any) ?(collation = Collation.Binary)
+    ?(not_null = false) ?default ?(in_primary_key = false)
+    ?(single_unique = false) name =
+  { name; ty; collation; not_null; default; in_primary_key; single_unique }
+
+type table = {
+  mutable table_name : string;
+  mutable columns : column array;
+  mutable primary_key : string list; (* ordered; [] = none (rowid only) *)
+  without_rowid : bool;
+  engine : Sqlast.Ast.table_engine option;
+  inherits : string option;
+  mutable children : string list; (* postgres inheritance: child tables *)
+  mutable table_uniques : string list list; (* multi-column UNIQUEs *)
+  mutable checks : Sqlast.Ast.expr list; (* CHECK constraints, row context *)
+  mutable serial_next : int64; (* next SERIAL value (postgres) *)
+  mutable tainted_null_update : bool;
+      (* a NULL was overwritten by UPDATE: trigger state for the
+         injected 'unexpected null value in index' defect *)
+  mutable broken_expr_index : bool;
+      (* an expression index references a renamed column: trigger state
+         for the injected malformed-schema defect *)
+}
+
+let make_table ?(primary_key = []) ?(without_rowid = false) ?engine ?inherits
+    ?(table_uniques = []) ?(checks = []) ~columns table_name =
+  {
+    table_name;
+    columns;
+    primary_key;
+    without_rowid;
+    engine;
+    inherits;
+    children = [];
+    table_uniques;
+    checks;
+    serial_next = 1L;
+    tainted_null_update = false;
+    broken_expr_index = false;
+  }
+
+let find_column t name =
+  let lowered = String.lowercase_ascii name in
+  let rec go i =
+    if i >= Array.length t.columns then None
+    else if String.lowercase_ascii t.columns.(i).name = lowered then
+      Some (i, t.columns.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let column_index t name =
+  match find_column t name with Some (i, _) -> Some i | None -> None
+
+let column_names t = Array.to_list (Array.map (fun c -> c.name) t.columns)
+let width t = Array.length t.columns
+
+let has_explicit_pk t = t.primary_key <> []
+
+(* All UNIQUE column sets that must be enforced: the PK, column-level
+   uniques, and table-level uniques. *)
+let unique_sets t =
+  let col_uniques =
+    Array.to_list t.columns
+    |> List.filter_map (fun c -> if c.single_unique then Some [ c.name ] else None)
+  in
+  let pk = if t.primary_key = [] then [] else [ t.primary_key ] in
+  pk @ col_uniques @ t.table_uniques
+
+let copy_table t =
+  {
+    t with
+    columns = Array.copy t.columns;
+    children = t.children;
+    table_uniques = t.table_uniques;
+  }

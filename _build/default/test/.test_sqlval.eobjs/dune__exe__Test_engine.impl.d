@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Collation Datatype Dialect Engine Int64 List Sqlast Sqlval Value

@@ -1,0 +1,1 @@
+test/test_engine_more.ml: Alcotest Array Dialect Engine List Option Pqs Printf QCheck QCheck_alcotest Sqlast Sqlparse Sqlval Storage String Value

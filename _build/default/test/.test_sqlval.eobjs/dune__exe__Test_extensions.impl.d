@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Baselines Dialect Engine Int64 List Pqs Printf Sqlast Sqlval String

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Dialect Engine List Sqlparse Sqlval String Value

@@ -1,0 +1,1 @@
+test/test_listings2.ml: Alcotest Dialect Engine List Printf Sqlparse Sqlval

@@ -1,0 +1,1 @@
+test/test_pqs.ml: Alcotest Array Dialect Engine Float Format List Option Pqs Printf QCheck QCheck_alcotest Sqlast Sqlval String Value

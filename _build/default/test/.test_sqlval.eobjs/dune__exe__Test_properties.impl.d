@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Datatype Dialect Engine Int64 List Pqs Printf QCheck QCheck_alcotest Sqlast Sqlparse Sqlval String Value

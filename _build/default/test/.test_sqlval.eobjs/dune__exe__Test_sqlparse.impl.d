@@ -1,0 +1,1 @@
+test/test_sqlparse.ml: Alcotest Collation Datatype Dialect Int64 List Printf QCheck QCheck_alcotest Sqlast Sqlparse Sqlval Value

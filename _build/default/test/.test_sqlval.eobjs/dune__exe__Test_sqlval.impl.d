@@ -1,0 +1,1 @@
+test/test_sqlval.ml: Alcotest Coerce Collation Datatype Dialect Format Fun Gen Int64 Like_matcher List Numeric QCheck QCheck_alcotest Result Sqlval String Tvl Value

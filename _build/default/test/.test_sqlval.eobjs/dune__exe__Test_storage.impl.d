@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Collation Int Int64 List Option Printf QCheck QCheck_alcotest Sqlast Sqlval Storage String Value

@@ -1,0 +1,92 @@
+(* Smoke tests for the evaluation harness: each experiment target runs at a
+   tiny budget without raising, and the table-shape invariants hold on the
+   detection outcomes it is fed. *)
+
+let tiny_detections () =
+  (* a synthetic detection list: one detected true bug per dialect, one
+     undetected *)
+  let mk bug report = { Experiments.Detection.bug; report; queries_budget = 1 } in
+  let report dialect oracle =
+    Some
+      {
+        Pqs.Bug_report.dialect;
+        oracle;
+        message = "synthetic";
+        statements =
+          [
+            Sqlast.Ast.Create_table
+              {
+                Sqlast.Ast.ct_name = "t0";
+                ct_if_not_exists = false;
+                ct_columns =
+                  [
+                    {
+                      Sqlast.Ast.col_name = "c0";
+                      col_type = Sqlval.Datatype.Any;
+                      col_collate = None;
+                      col_constraints = [];
+                    };
+                  ];
+                ct_constraints = [];
+                ct_without_rowid = false;
+                ct_engine = None;
+                ct_inherits = None;
+              };
+            Sqlast.Ast.Select_stmt (Sqlast.Ast.Q_values [ [ Sqlast.Ast.int_lit 1L ] ]);
+          ];
+        reduced = None;
+        seed = 1;
+      }
+  in
+  [
+    mk Engine.Bug.Sq_rtrim_compare_asymmetric
+      (report Sqlval.Dialect.Sqlite_like Pqs.Bug_report.Containment);
+    mk Engine.Bug.My_repair_marks_crashed
+      (report Sqlval.Dialect.Mysql_like Pqs.Bug_report.Error_oracle);
+    mk Engine.Bug.Pg_stats_analyze_crash
+      (report Sqlval.Dialect.Postgres_like Pqs.Bug_report.Crash);
+    mk Engine.Bug.Sq_skip_scan_distinct None;
+  ]
+
+let test_detection_helpers () =
+  let det = tiny_detections () in
+  Alcotest.(check int) "detected" 3
+    (List.length (Experiments.Detection.detected det));
+  Alcotest.(check int) "missed" 1 (List.length (Experiments.Detection.missed det));
+  Alcotest.(check int) "sqlite outcomes" 2
+    (List.length (Experiments.Detection.by_dialect det Sqlval.Dialect.Sqlite_like))
+
+let test_tables_run () =
+  let det = tiny_detections () in
+  Experiments.Table1.run ();
+  Experiments.Table2.run det;
+  Experiments.Table3.run det;
+  Experiments.Table4.run ~coverage_queries:60 ();
+  let det = Experiments.Figure2.run det in
+  ignore (Experiments.Figure3.run det)
+
+let test_perf_and_ablations_run () =
+  Experiments.Throughput.run ~queries:80 ();
+  Experiments.Ablations.run ~queries:60 ();
+  Experiments.Metamorphic_ext.run ~checks:40 ()
+
+let test_fmt_table () =
+  let rendered =
+    Experiments.Fmt_table.render ~columns:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has separator" true (String.contains rendered '-');
+  Alcotest.(check bool) "pads columns" true
+    (String.length rendered > String.length "a|bb")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "detection helpers" `Quick test_detection_helpers;
+          Alcotest.test_case "tables and figures run" `Quick test_tables_run;
+          Alcotest.test_case "perf/ablations run" `Slow test_perf_and_ablations_run;
+          Alcotest.test_case "fmt_table" `Quick test_fmt_table;
+        ] );
+    ]

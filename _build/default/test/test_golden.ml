@@ -1,0 +1,275 @@
+(* Golden semantics tests: each case pins a documented dialect behaviour
+   to an exact result, readable as a specification of the engine.  The
+   scripts run through the SQL text front end, so they also exercise the
+   lexer/parser on realistic statements. *)
+
+open Sqlval
+
+type outcome = Rows of string list | Err of Engine.Errors.code
+
+type case = {
+  name : string;
+  dialect : Dialect.t;
+  script : string;  (** setup; must succeed *)
+  query : string;
+  expect : outcome;
+}
+
+let sq = Dialect.Sqlite_like
+let my = Dialect.Mysql_like
+let pg = Dialect.Postgres_like
+
+let cases =
+  [
+    (* --- three-valued logic --- *)
+    {
+      name = "null propagates through comparison";
+      dialect = sq;
+      script = "CREATE TABLE t(c); INSERT INTO t VALUES (NULL);";
+      query = "SELECT c = NULL, c <> NULL, c IS NULL FROM t";
+      expect = Rows [ "NULL|NULL|1" ];
+    };
+    {
+      name = "and/or kleene tables";
+      dialect = sq;
+      script = "";
+      query = "SELECT NULL AND 0, NULL AND 1, NULL OR 1, NULL OR 0";
+      expect = Rows [ "0|NULL|1|NULL" ];
+    };
+    (* --- sqlite IS over scalars --- *)
+    {
+      name = "IS is null-safe equality";
+      dialect = sq;
+      script = "";
+      query = "SELECT NULL IS NULL, NULL IS 1, 1 IS 1, 1 IS NOT 2";
+      expect = Rows [ "1|0|1|1" ];
+    };
+    (* --- affinity --- *)
+    {
+      name = "INT affinity converts text on insert";
+      dialect = sq;
+      script = "CREATE TABLE t(c INT); INSERT INTO t VALUES ('42');";
+      query = "SELECT TYPEOF(c), c + 1 FROM t";
+      expect = Rows [ "integer|43" ];
+    };
+    {
+      name = "no affinity keeps text";
+      dialect = sq;
+      script = "CREATE TABLE t(c); INSERT INTO t VALUES ('42');";
+      query = "SELECT TYPEOF(c) FROM t";
+      expect = Rows [ "text" ];
+    };
+    (* --- collations --- *)
+    {
+      name = "nocase equality";
+      dialect = sq;
+      script = "CREATE TABLE t(c TEXT COLLATE NOCASE); INSERT INTO t VALUES ('AbC');";
+      query = "SELECT COUNT(*) FROM t WHERE c = 'aBc'";
+      expect = Rows [ "1" ];
+    };
+    {
+      name = "rtrim ignores trailing spaces both sides";
+      dialect = sq;
+      script = "CREATE TABLE t(c TEXT COLLATE RTRIM); INSERT INTO t VALUES ('x  ');";
+      query = "SELECT COUNT(*) FROM t WHERE c = 'x'";
+      expect = Rows [ "1" ];
+    };
+    (* --- arithmetic --- *)
+    {
+      name = "sqlite integer overflow promotes to real";
+      dialect = sq;
+      script = "";
+      query = "SELECT 9223372036854775807 + 1 > 0";
+      expect = Rows [ "1" ];
+    };
+    {
+      name = "mysql integer overflow errors";
+      dialect = my;
+      script = "";
+      query = "SELECT 9223372036854775807 + 1";
+      expect = Err Engine.Errors.Out_of_range;
+    };
+    {
+      name = "sqlite text minus int is exact";
+      dialect = sq;
+      script = "";
+      query = "SELECT '' - 2851427734582196970";
+      expect = Rows [ "-2851427734582196970" ];
+    };
+    {
+      name = "modulo by zero is NULL in sqlite";
+      dialect = sq;
+      script = "";
+      query = "SELECT 5 % 0";
+      expect = Rows [ "NULL" ];
+    };
+    (* --- mysql specialties --- *)
+    {
+      name = "unsigned cast of negative is huge";
+      dialect = my;
+      script = "";
+      query = "SELECT CAST(-1 AS UNSIGNED) > 1000000";
+      expect = Rows [ "1" ];
+    };
+    {
+      name = "null-safe comparison never yields NULL";
+      dialect = my;
+      script = "";
+      query = "SELECT NULL <=> NULL, NULL <=> 1, 2 <=> 2";
+      expect = Rows [ "1|0|1" ];
+    };
+    {
+      name = "tinyint clamps out of range";
+      dialect = my;
+      script = "CREATE TABLE t(c TINYINT); INSERT INTO t VALUES (1000);";
+      query = "SELECT c FROM t";
+      expect = Rows [ "127" ];
+    };
+    (* --- postgres specialties --- *)
+    {
+      name = "strict boolean WHERE";
+      dialect = pg;
+      script = "CREATE TABLE t(c INT); INSERT INTO t VALUES (1);";
+      query = "SELECT * FROM t WHERE c + 1";
+      expect = Err Engine.Errors.Type_error;
+    };
+    {
+      name = "is distinct from";
+      dialect = pg;
+      script = "";
+      query = "SELECT NULL IS DISTINCT FROM 1, NULL IS DISTINCT FROM NULL";
+      expect = Rows [ "t|f" ];
+    };
+    {
+      name = "serial starts at one";
+      dialect = pg;
+      script = "CREATE TABLE t(id SERIAL, v INT); INSERT INTO t(v) VALUES (7), (8);";
+      query = "SELECT id, v FROM t ORDER BY id ASC";
+      expect = Rows [ "1|7"; "2|8" ];
+    };
+    {
+      name = "inherited rows appear in parent scans";
+      dialect = pg;
+      script =
+        "CREATE TABLE p(c INT); CREATE TABLE k(d INT) INHERITS (p); INSERT \
+         INTO p VALUES (1); INSERT INTO k(c, d) VALUES (2, 3);";
+      query = "SELECT c FROM p ORDER BY c ASC";
+      expect = Rows [ "1"; "2" ];
+    };
+    (* --- LIKE / GLOB --- *)
+    {
+      name = "like escape";
+      dialect = sq;
+      script = "";
+      query = "SELECT '10%' LIKE '10!%' ESCAPE '!', '10x' LIKE '10!%' ESCAPE '!'";
+      expect = Rows [ "1|0" ];
+    };
+    {
+      name = "glob classes";
+      dialect = sq;
+      script = "";
+      query = "SELECT 'b' GLOB '[a-c]', 'd' GLOB '[a-c]', 'd' GLOB '[^a-c]'";
+      expect = Rows [ "1|0|1" ];
+    };
+    (* --- aggregates --- *)
+    {
+      name = "aggregates skip NULLs, COUNT(*) does not";
+      dialect = sq;
+      script = "CREATE TABLE t(c); INSERT INTO t VALUES (1), (NULL), (3);";
+      query = "SELECT COUNT(*), COUNT(c), SUM(c), AVG(c), TOTAL(c) FROM t";
+      expect = Rows [ "3|2|4|2.0|4.0" ];
+    };
+    {
+      name = "aggregate over empty set";
+      dialect = sq;
+      script = "CREATE TABLE t(c);";
+      query = "SELECT COUNT(*), SUM(c), MIN(c), TOTAL(c) FROM t";
+      expect = Rows [ "0|NULL|NULL|0.0" ];
+    };
+    (* --- compound --- *)
+    {
+      name = "intersect treats NULLs as equal";
+      dialect = sq;
+      script = "";
+      query = "SELECT NULL INTERSECT SELECT NULL";
+      expect = Rows [ "NULL" ];
+    };
+    {
+      name = "union deduplicates, union all does not";
+      dialect = sq;
+      script = "";
+      query = "SELECT COUNT(*) FROM (SELECT 1 UNION SELECT 1 UNION ALL SELECT 1) AS s";
+      expect = Rows [ "2" ];
+    };
+    (* --- constraints --- *)
+    {
+      name = "unique allows multiple NULLs";
+      dialect = sq;
+      script =
+        "CREATE TABLE t(c UNIQUE); INSERT INTO t VALUES (NULL), (NULL), (1);";
+      query = "SELECT COUNT(*) FROM t";
+      expect = Rows [ "3" ];
+    };
+    {
+      name = "check constraint with NULL passes";
+      dialect = sq;
+      script = "CREATE TABLE t(c CHECK (c > 0)); INSERT INTO t VALUES (NULL), (5);";
+      query = "SELECT COUNT(*) FROM t";
+      expect = Rows [ "2" ];
+    };
+    (* --- sqlite rowid alias --- *)
+    {
+      name = "integer primary key auto-assigns";
+      dialect = sq;
+      script =
+        "CREATE TABLE t(id INTEGER PRIMARY KEY, v); INSERT INTO t(id, v) \
+         VALUES (NULL, 'a'), (NULL, 'b');";
+      query = "SELECT id FROM t ORDER BY id ASC";
+      expect = Rows [ "1"; "2" ];
+    };
+  ]
+
+let run_case (c : case) () =
+  let session = Engine.Session.create c.dialect in
+  if c.script <> "" then begin
+    match Sqlparse.Parser.parse_script c.script with
+    | Error e -> Alcotest.failf "setup parse: %s" (Sqlparse.Parser.show_error e)
+    | Ok stmts ->
+        List.iter
+          (fun stmt ->
+            match Engine.Session.execute session stmt with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "setup failed: %s" (Engine.Errors.show e))
+          stmts
+  end;
+  match Sqlparse.Parser.parse_stmt c.query with
+  | Error e -> Alcotest.failf "query parse: %s" (Sqlparse.Parser.show_error e)
+  | Ok stmt -> (
+      match (Engine.Session.execute session stmt, c.expect) with
+      | Ok (Engine.Session.Rows rs), Rows expected ->
+          let got =
+            List.map
+              (fun row ->
+                String.concat "|"
+                  (Array.to_list (Array.map Value.to_display row)))
+              rs.Engine.Executor.rs_rows
+          in
+          Alcotest.(check (list string)) c.name expected got
+      | Ok _, Rows _ -> Alcotest.fail "expected rows"
+      | Error e, Err code ->
+          Alcotest.(check bool)
+            (c.name ^ " error code")
+            true
+            (Engine.Errors.equal_code e.Engine.Errors.code code)
+      | Error e, Rows _ ->
+          Alcotest.failf "unexpected error: %s" (Engine.Errors.show e)
+      | Ok _, Err _ -> Alcotest.fail "expected an error")
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "semantics",
+        List.map
+          (fun c -> Alcotest.test_case c.name `Quick (run_case c))
+          cases );
+    ]

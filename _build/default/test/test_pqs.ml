@@ -1,0 +1,228 @@
+(* PQS integration tests: the properties the paper's method rests on.
+
+   - agreement: the oracle interpreter and the (bug-free) engine evaluate
+     random expressions identically;
+   - rectification: rectified conditions always evaluate to TRUE;
+   - soundness: a full PQS run against the correct engine reports nothing;
+   - effectiveness: representative injected bugs are detected by the
+     expected oracle;
+   - reduction: reduced scripts still manifest and are no longer. *)
+
+open Sqlval
+module A = Sqlast.Ast
+
+let nan_tolerant_equal (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Real x, Value.Real y ->
+      (Float.is_nan x && Float.is_nan y) || Float.equal x y
+  | _ -> Value.equal a b
+
+(* Random schema+row for the agreement property.  Values are generated
+   through the column-compatible literal generator and stored through the
+   engine (so affinity conversions apply) — the pivot is then read back
+   from the heap, exactly as the runner does. *)
+let random_case dialect seed =
+  let rng = Pqs.Rng.make ~seed in
+  let ncols = Pqs.Rng.int_in rng 1 3 in
+  let gen_cfg =
+    {
+      (Pqs.Gen_db.default_config dialect) with
+      Pqs.Gen_db.rng;
+      table_count = 1;
+      max_columns = ncols;
+    }
+  in
+  let session = Engine.Session.create dialect in
+  let stmts = Pqs.Gen_db.initial_statements gen_cfg in
+  List.iter
+    (fun s -> ignore (Engine.Session.execute session s))
+    stmts;
+  match Pqs.Schema_info.tables_of_session session with
+  | [] -> None
+  | ti :: _ -> (
+      (* one row through the engine *)
+      (match
+         Engine.Session.execute session (Pqs.Gen_db.insert_stmt gen_cfg ti)
+       with
+      | Ok _ | Error _ -> ());
+      match Pqs.Schema_info.rows_of_table session ti.Pqs.Schema_info.ti_name with
+      | [] -> None
+      | row :: _ ->
+          let pool =
+            Array.to_list row |> List.filter (fun v -> not (Value.is_null v))
+          in
+          let expr =
+            Pqs.Gen_expr.scalar
+              { Pqs.Gen_expr.rng; dialect; tables = [ ti ]; max_depth = 4; pool }
+          in
+          Some (session, ti, row, expr))
+
+let agreement_one dialect seed =
+  match random_case dialect seed with
+  | None -> true
+  | Some (session, ti, row, expr) -> (
+      let interp_env = Pqs.Interp.env_of_pivot dialect [ (ti, row) ] in
+      let interp_result = Pqs.Interp.eval interp_env expr in
+      let q =
+        A.Q_select
+          {
+            A.sel_distinct = false;
+            sel_items = [ A.Sel_expr (expr, None) ];
+            sel_from =
+              [ A.F_table { name = ti.Pqs.Schema_info.ti_name; alias = None } ];
+            sel_where = None;
+            sel_group_by = [];
+            sel_having = None;
+            sel_order_by = [];
+            sel_limit = Some 1L (* the insert may have added extra rows *);
+            sel_offset = None;
+          }
+      in
+      let engine_result = Engine.Session.query session q in
+      match (interp_result, engine_result) with
+      | Ok iv, Ok rs -> (
+          match rs.Engine.Executor.rs_rows with
+          | [ [| ev |] ] ->
+              if nan_tolerant_equal iv ev then true
+              else
+                QCheck.Test.fail_reportf
+                  "disagreement on %s\n  table: %s\n  row: %s\n  interp: %s\n  engine: %s"
+                  (Sqlast.Sql_printer.expr dialect expr)
+                  (Format.asprintf "%a" Pqs.Schema_info.pp_table_info ti)
+                  (String.concat "|"
+                     (List.map Value.show (Array.to_list row)))
+                  (Value.show iv) (Value.show ev)
+          | rows ->
+              QCheck.Test.fail_reportf "expected 1 row, got %d"
+                (List.length rows))
+      | Error _, Error _ -> true
+      | Error ie, Ok rs ->
+          let ev =
+            match rs.Engine.Executor.rs_rows with
+            | [ [| v |] ] -> Value.show v
+            | _ -> "?"
+          in
+          QCheck.Test.fail_reportf
+            "interp errored (%s) but engine returned %s on %s" ie ev
+            (Sqlast.Sql_printer.expr dialect expr)
+      | Ok iv, Error ee ->
+          QCheck.Test.fail_reportf
+            "engine errored (%s) but interp returned %s on %s"
+            (Engine.Errors.show ee) (Value.show iv)
+            (Sqlast.Sql_printer.expr dialect expr))
+
+let agreement_prop dialect =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "oracle/engine agreement (%s)" (Dialect.name dialect))
+    ~count:800 QCheck.small_nat
+    (fun seed -> agreement_one dialect (seed * 3 + 11))
+
+(* rectified conditions always evaluate TRUE under the interpreter and
+   select the pivot row in the engine *)
+let soundness_run dialect =
+  let config =
+    {
+      (Pqs.Runner.default_config ~seed:4242 dialect) with
+      Pqs.Runner.verify_ground_truth = false (* count raw disagreements *);
+    }
+  in
+  let stats = Pqs.Runner.run ~max_queries:300 config in
+  (stats, config)
+
+let test_soundness dialect () =
+  let stats, _ = soundness_run dialect in
+  Alcotest.(check int)
+    (Printf.sprintf "no findings on correct engine (%s)" (Dialect.name dialect))
+    0
+    (List.length stats.Pqs.Runner.reports);
+  Alcotest.(check bool) "issued queries" true (stats.Pqs.Runner.queries > 100)
+
+(* representative injected bugs are found, each by its expected oracle;
+   like the evaluation harness, hunting retries a few seeds *)
+let detect bug ~max_queries =
+  let info = Engine.Bug.info bug in
+  let rec go = function
+    | [] -> None
+    | seed :: rest -> (
+        let config =
+          Pqs.Runner.default_config ~seed
+            ~bugs:(Engine.Bug.set_of_list [ bug ])
+            info.Engine.Bug.dialect
+        in
+        match Pqs.Runner.hunt config ~max_queries with
+        | Some r -> Some r
+        | None -> go rest)
+  in
+  go [ 7; 77; 777 ]
+
+let test_detects bug expected_oracle () =
+  match detect bug ~max_queries:10000 with
+  | None -> Alcotest.failf "bug %s not detected" (Engine.Bug.show bug)
+  | Some r ->
+      Alcotest.(check string)
+        (Printf.sprintf "oracle for %s" (Engine.Bug.show bug))
+        (Pqs.Bug_report.oracle_label expected_oracle)
+        (Pqs.Bug_report.oracle_label r.Pqs.Bug_report.oracle)
+
+let test_reduction () =
+  let bug = Engine.Bug.Sq_partial_index_implies_not_null in
+  match detect bug ~max_queries:10000 with
+  | None -> Alcotest.fail "seed bug not detected"
+  | Some r ->
+      let bugs = Engine.Bug.set_of_list [ bug ] in
+      let reduced = Pqs.Reducer.reduce_report r ~bugs in
+      let red = Option.get reduced.Pqs.Bug_report.reduced in
+      Alcotest.(check bool) "reduced is smaller or equal" true
+        (List.length red <= List.length r.Pqs.Bug_report.statements);
+      (* the reduced script still manifests *)
+      let check =
+        Pqs.Reducer.manifestation_check ~dialect:r.Pqs.Bug_report.dialect
+          ~bugs ~oracle:r.Pqs.Bug_report.oracle
+      in
+      Alcotest.(check bool) "reduced still manifests" true (check red)
+
+let () =
+  Alcotest.run "pqs"
+    [
+      ( "agreement",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            agreement_prop Dialect.Sqlite_like;
+            agreement_prop Dialect.Mysql_like;
+            agreement_prop Dialect.Postgres_like;
+          ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "sqlite" `Slow (test_soundness Dialect.Sqlite_like);
+          Alcotest.test_case "mysql" `Slow (test_soundness Dialect.Mysql_like);
+          Alcotest.test_case "postgres" `Slow (test_soundness Dialect.Postgres_like);
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "partial index (L1)" `Slow
+            (test_detects Engine.Bug.Sq_partial_index_implies_not_null
+               Pqs.Bug_report.Containment);
+          Alcotest.test_case "rtrim compare (L5)" `Slow
+            (test_detects Engine.Bug.Sq_rtrim_compare_asymmetric
+               Pqs.Bug_report.Containment);
+          Alcotest.test_case "real pk corruption (L10)" `Slow
+            (test_detects Engine.Bug.Sq_real_pk_or_replace_corrupt
+               Pqs.Bug_report.Error_oracle);
+          Alcotest.test_case "check table crash (L14)" `Slow
+            (test_detects Engine.Bug.My_check_upgrade_expr_index_crash
+               Pqs.Bug_report.Crash);
+          Alcotest.test_case "double negation (L13)" `Slow
+            (test_detects Engine.Bug.My_double_negation_fold
+               Pqs.Bug_report.Containment);
+          Alcotest.test_case "inherit group by (L15) via error/contains" `Slow
+            (fun () ->
+              match
+                detect Engine.Bug.Pg_stats_expr_index_bitmapset
+                  ~max_queries:10000
+              with
+              | None -> Alcotest.fail "bitmapset bug not detected"
+              | Some _ -> ());
+        ] );
+      ("reduction", [ Alcotest.test_case "reduce report" `Slow test_reduction ]);
+    ]

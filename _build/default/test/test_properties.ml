@@ -1,0 +1,376 @@
+(* Cross-cutting property tests: compound-query algebra, ORDER BY/DISTINCT
+   postconditions, literal round-trips through the parser, session
+   determinism, and reducer structure. *)
+
+open Sqlval
+module A = Sqlast.Ast
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (4, map (fun i -> Value.Int (Int64.of_int i)) (int_range (-1000) 1000));
+        ( 1,
+          map
+            (fun i -> Value.Int i)
+            (oneofl [ 0L; 1L; -1L; Int64.max_int; 2851427734582196970L ]) );
+        (2, map (fun f -> Value.Real f) (float_bound_inclusive 100.0));
+        ( 3,
+          map
+            (fun s -> Value.Text s)
+            (string_size ~gen:(char_range ' ' 'z') (0 -- 6)) );
+        ( 1,
+          map
+            (fun s -> Value.Blob s)
+            (string_size ~gen:(char_range 'a' 'f') (0 -- 4)) );
+      ])
+
+let rows_gen = QCheck.Gen.(list_size (0 -- 8) (list_repeat 2 value_gen))
+
+let rows_arb =
+  QCheck.make
+    ~print:(fun rows ->
+      String.concat ";"
+        (List.map
+           (fun r -> String.concat "," (List.map Value.show r))
+           rows))
+    rows_gen
+
+let session () = Engine.Session.create Dialect.Sqlite_like
+
+let values_query rows : A.query =
+  A.Q_values (List.map (fun r -> List.map (fun v -> A.Lit v) r) rows)
+
+let run_rows s q =
+  match Engine.Session.query s q with
+  | Ok rs -> rs.Engine.Executor.rs_rows
+  | Error e -> QCheck.Test.fail_reportf "query failed: %s" (Engine.Errors.show e)
+
+let canonical rows =
+  List.sort compare
+    (List.map
+       (fun r -> Array.to_list (Array.map Value.to_display r))
+       rows)
+
+(* ---------- compound algebra ---------- *)
+
+let prop_intersect_self =
+  QCheck.Test.make ~name:"A INTERSECT A = dedup A" ~count:300 rows_arb
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let s = session () in
+      let a = values_query rows in
+      let inter = run_rows s (A.Q_compound (A.Intersect, a, a)) in
+      let union_dedup = run_rows s (A.Q_compound (A.Union, a, a)) in
+      canonical inter = canonical union_dedup)
+
+let prop_except_self =
+  QCheck.Test.make ~name:"A EXCEPT A = empty" ~count:300 rows_arb (fun rows ->
+      QCheck.assume (rows <> []);
+      let s = session () in
+      let a = values_query rows in
+      run_rows s (A.Q_compound (A.Except, a, a)) = [])
+
+let prop_union_all_cardinality =
+  QCheck.Test.make ~name:"|A UNION ALL B| = |A| + |B|" ~count:300
+    (QCheck.pair rows_arb rows_arb) (fun (ra, rb) ->
+      QCheck.assume (ra <> [] && rb <> []);
+      let s = session () in
+      let u =
+        run_rows s (A.Q_compound (A.Union_all, values_query ra, values_query rb))
+      in
+      List.length u = List.length ra + List.length rb)
+
+let prop_union_commutative_cardinality =
+  QCheck.Test.make ~name:"|A UNION B| = |B UNION A|" ~count:300
+    (QCheck.pair rows_arb rows_arb) (fun (ra, rb) ->
+      QCheck.assume (ra <> [] && rb <> []);
+      let s = session () in
+      let ab =
+        run_rows s (A.Q_compound (A.Union, values_query ra, values_query rb))
+      in
+      let ba =
+        run_rows s (A.Q_compound (A.Union, values_query rb, values_query ra))
+      in
+      canonical ab = canonical ba)
+
+(* ---------- ORDER BY / DISTINCT over real tables ---------- *)
+
+let table_of_rows s rows =
+  (match
+     Engine.Session.execute s
+       (A.Create_table
+          {
+            A.ct_name = "t0";
+            ct_if_not_exists = false;
+            ct_columns =
+              [
+                { A.col_name = "c0"; col_type = Datatype.Any; col_collate = None; col_constraints = [] };
+                { A.col_name = "c1"; col_type = Datatype.Any; col_collate = None; col_constraints = [] };
+              ];
+            ct_constraints = [];
+            ct_without_rowid = false;
+            ct_engine = None;
+            ct_inherits = None;
+          })
+   with
+  | Ok _ -> ()
+  | Error e -> QCheck.Test.fail_reportf "create: %s" (Engine.Errors.show e));
+  if rows <> [] then
+    match
+      Engine.Session.execute s
+        (A.Insert
+           {
+             table = "t0";
+             columns = [];
+             rows = List.map (fun r -> List.map (fun v -> A.Lit v) r) rows;
+             action = A.On_conflict_abort;
+           })
+    with
+    | Ok _ -> ()
+    | Error e -> QCheck.Test.fail_reportf "insert: %s" (Engine.Errors.show e)
+
+let select ?(distinct = false) ?(order = []) () =
+  A.Q_select
+    {
+      A.sel_distinct = distinct;
+      sel_items = [ A.Star ];
+      sel_from = [ A.F_table { name = "t0"; alias = None } ];
+      sel_where = None;
+      sel_group_by = [];
+      sel_having = None;
+      sel_order_by = order;
+      sel_limit = None;
+      sel_offset = None;
+    }
+
+let prop_order_by_sorted =
+  QCheck.Test.make ~name:"ORDER BY yields sorted output" ~count:300 rows_arb
+    (fun rows ->
+      let s = session () in
+      table_of_rows s rows;
+      let out = run_rows s (select ~order:[ (A.col "c0", A.Asc) ] ()) in
+      let keys = List.map (fun r -> r.(0)) out in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+            Value.compare_total a b <= 0 && sorted rest
+        | _ -> true
+      in
+      List.length out = List.length rows && sorted keys)
+
+let prop_distinct_no_duplicates =
+  QCheck.Test.make ~name:"DISTINCT output has no duplicates" ~count:300
+    rows_arb (fun rows ->
+      let s = session () in
+      table_of_rows s rows;
+      let out = canonical (run_rows s (select ~distinct:true ())) in
+      List.length out = List.length (List.sort_uniq compare out))
+
+let prop_distinct_idempotent =
+  QCheck.Test.make ~name:"DISTINCT is idempotent" ~count:200 rows_arb
+    (fun rows ->
+      let s = session () in
+      table_of_rows s rows;
+      let once = canonical (run_rows s (select ~distinct:true ())) in
+      let twice = canonical (run_rows s (select ~distinct:true ())) in
+      once = twice)
+
+(* ---------- literal round-trip through printer + parser ---------- *)
+
+let prop_literal_roundtrip =
+  QCheck.Test.make ~name:"literal -> SQL text -> parser -> same value"
+    ~count:800
+    (QCheck.make ~print:Value.show value_gen)
+    (fun v ->
+      let sql = Value.to_sql_literal v in
+      match Sqlparse.Parser.parse_expr sql with
+      | Ok (A.Lit v') -> Value.equal v v'
+      | Ok other ->
+          QCheck.Test.fail_reportf "parsed non-literal %s from %s"
+            (A.show_expr other) sql
+      | Error e ->
+          QCheck.Test.fail_reportf "unparseable literal %s: %s" sql
+            (Sqlparse.Parser.show_error e))
+
+(* ---------- session determinism ---------- *)
+
+let prop_runner_deterministic =
+  QCheck.Test.make ~name:"runner is a deterministic function of the seed"
+    ~count:10 QCheck.small_nat (fun seed ->
+      let go () =
+        let config =
+          Pqs.Runner.default_config ~seed:(seed + 1) Dialect.Sqlite_like
+        in
+        let stats = Pqs.Runner.run ~max_queries:60 config in
+        ( stats.Pqs.Runner.queries,
+          stats.Pqs.Runner.statements,
+          stats.Pqs.Runner.pivots,
+          List.length stats.Pqs.Runner.reports )
+      in
+      go () = go ())
+
+(* ---------- reducer structure ---------- *)
+
+let prop_reducer_subsequence =
+  QCheck.Test.make ~name:"reduced script is a subsequence of the original"
+    ~count:100
+    (QCheck.make ~print:(fun n -> string_of_int n) QCheck.Gen.(1 -- 8))
+    (fun n ->
+      let stmts =
+        List.init n (fun i ->
+            A.Insert
+              {
+                table = "t0";
+                columns = [];
+                rows = [ [ A.int_lit (Int64.of_int i) ] ];
+                action = A.On_conflict_abort;
+              })
+        @ [ A.Select_stmt (A.Q_values [ [ A.int_lit 1L ] ]) ]
+      in
+      (* arbitrary check: statements 0 and n-1 are needed *)
+      let needed =
+        List.filteri (fun i _ -> i = 0 || i = n - 1) stmts
+      in
+      let check candidate =
+        List.for_all
+          (fun s -> List.exists (A.equal_stmt s) candidate)
+          needed
+      in
+      let reduced = Pqs.Reducer.reduce check stmts in
+      (* subsequence test *)
+      let rec subseq xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+            if A.equal_stmt x y then subseq xs' ys' else subseq xs ys'
+      in
+      check reduced && subseq reduced stmts)
+
+(* ---------- print/parse/execute agreement ---------- *)
+
+(* Execute a random statement stream twice: directly, and through the
+   printer+parser.  Every statement must succeed/fail identically and the
+   final table contents must match — the printer and parser are
+   semantically transparent. *)
+let prop_print_parse_execute dialect =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "execute = execute . parse . print (%s)"
+         (Dialect.name dialect))
+    ~count:60 QCheck.small_nat
+    (fun seed ->
+      let rng = Pqs.Rng.make ~seed:(seed + 77) in
+      let direct = Engine.Session.create dialect in
+      let reparsed = Engine.Session.create dialect in
+      let cfg = { (Pqs.Gen_db.default_config dialect) with Pqs.Gen_db.rng } in
+      let feed stmt =
+        let r1 =
+          match Engine.Session.execute direct stmt with
+          | Ok _ -> "ok"
+          | Error e -> Engine.Errors.show_code e.Engine.Errors.code
+          | exception Engine.Errors.Crash _ -> "crash"
+        in
+        let sql = Sqlast.Sql_printer.stmt dialect stmt in
+        let r2 =
+          match Sqlparse.Parser.parse_stmt sql with
+          | Error e ->
+              QCheck.Test.fail_reportf "unparseable %s: %s" sql
+                (Sqlparse.Parser.show_error e)
+          | Ok stmt' -> (
+              match Engine.Session.execute reparsed stmt' with
+              | Ok _ -> "ok"
+              | Error e -> Engine.Errors.show_code e.Engine.Errors.code
+              | exception Engine.Errors.Crash _ -> "crash")
+        in
+        if r1 <> r2 then
+          QCheck.Test.fail_reportf "outcome diverged on %s: %s vs %s" sql r1 r2
+      in
+      List.iter feed (Pqs.Gen_db.initial_statements cfg);
+      List.iter feed (Pqs.Gen_db.fill_statements cfg direct);
+      for _ = 1 to 10 do
+        List.iter feed (Pqs.Gen_db.random_statements cfg direct)
+      done;
+      (* final state comparison *)
+      let dump session =
+        Pqs.Schema_info.tables_of_session session
+        |> List.map (fun (ti : Pqs.Schema_info.table_info) ->
+               ( ti.Pqs.Schema_info.ti_name,
+                 Pqs.Schema_info.rows_of_table session
+                   ti.Pqs.Schema_info.ti_name
+                 |> List.map (fun row ->
+                        Array.to_list (Array.map Value.show row)) ))
+      in
+      if dump direct <> dump reparsed then
+        QCheck.Test.fail_reportf "final states diverged (seed %d)" seed
+      else true)
+
+(* ---------- parser robustness ---------- *)
+
+(* the parser is total: any byte soup yields Ok or Error, never an
+   exception *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser never raises" ~count:2000
+    (QCheck.make
+       ~print:(fun s -> String.escaped s)
+       QCheck.Gen.(string_size ~gen:(char_range ' ' '~') (0 -- 60)))
+    (fun junk ->
+      (match Sqlparse.Parser.parse_script junk with
+      | Ok _ | Error _ -> ());
+      (match Sqlparse.Parser.parse_expr junk with Ok _ | Error _ -> ());
+      true)
+
+(* fragments that look like SQL exercise deeper parser paths *)
+let prop_parser_total_sqlish =
+  let words =
+    [| "SELECT"; "FROM"; "WHERE"; "t0"; "c0"; "("; ")"; ","; "'a'"; "1";
+       "CREATE"; "TABLE"; "INDEX"; "NOT"; "NULL"; "IS"; "IN"; "LIKE"; "AND";
+       "OR"; "BETWEEN"; "CASE"; "WHEN"; "END"; "*"; "="; "<=>"; ";"; "--x";
+       "X'ff'"; "CAST"; "AS"; "INT"; "VALUES"; "INSERT"; "INTO" |]
+  in
+  QCheck.Test.make ~name:"parser never raises (sql-ish soup)" ~count:2000
+    (QCheck.make
+       ~print:(fun ws -> String.concat " " ws)
+       QCheck.Gen.(
+         list_size (0 -- 15) (map (fun i -> words.(i mod Array.length words)) small_nat)))
+    (fun ws ->
+      let text = String.concat " " ws in
+      (match Sqlparse.Parser.parse_script text with Ok _ | Error _ -> ());
+      true)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "compound algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_intersect_self;
+            prop_except_self;
+            prop_union_all_cardinality;
+            prop_union_commutative_cardinality;
+          ] );
+      ( "select postconditions",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_order_by_sorted;
+            prop_distinct_no_duplicates;
+            prop_distinct_idempotent;
+          ] );
+      ( "round trips",
+        List.map QCheck_alcotest.to_alcotest [ prop_literal_roundtrip ] );
+      ( "determinism",
+        List.map QCheck_alcotest.to_alcotest [ prop_runner_deterministic ] );
+      ( "reducer",
+        List.map QCheck_alcotest.to_alcotest [ prop_reducer_subsequence ] );
+      ( "parser robustness",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parser_total; prop_parser_total_sqlish ] );
+      ( "print/parse/execute",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_print_parse_execute Dialect.Sqlite_like;
+            prop_print_parse_execute Dialect.Mysql_like;
+            prop_print_parse_execute Dialect.Postgres_like;
+          ] );
+    ]

@@ -1,0 +1,357 @@
+(* Unit and property tests for the value-domain substrate. *)
+
+open Sqlval
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+let tvl =
+  Alcotest.testable
+    (fun fmt t -> Format.pp_print_string fmt (Tvl.show t))
+    Tvl.equal
+
+(* ---------- Tvl ---------- *)
+
+let test_tvl_tables () =
+  Alcotest.(check tvl) "not unknown" Tvl.Unknown (Tvl.not_ Tvl.Unknown);
+  Alcotest.(check tvl) "not true" Tvl.False (Tvl.not_ Tvl.True);
+  Alcotest.(check tvl) "false and unknown" Tvl.False
+    (Tvl.and_ Tvl.False Tvl.Unknown);
+  Alcotest.(check tvl) "true and unknown" Tvl.Unknown
+    (Tvl.and_ Tvl.True Tvl.Unknown);
+  Alcotest.(check tvl) "true or unknown" Tvl.True (Tvl.or_ Tvl.True Tvl.Unknown);
+  Alcotest.(check tvl) "false or unknown" Tvl.Unknown
+    (Tvl.or_ Tvl.False Tvl.Unknown)
+
+let tvl_gen = QCheck.Gen.oneofl Tvl.all
+
+let tvl_arb = QCheck.make ~print:Tvl.show tvl_gen
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"tvl De Morgan" ~count:200
+    (QCheck.pair tvl_arb tvl_arb) (fun (a, b) ->
+      Tvl.equal (Tvl.not_ (Tvl.and_ a b)) (Tvl.or_ (Tvl.not_ a) (Tvl.not_ b)))
+
+let prop_lazy_agrees =
+  QCheck.Test.make ~name:"tvl lazy agrees with strict" ~count:200
+    (QCheck.pair tvl_arb tvl_arb) (fun (a, b) ->
+      Tvl.equal (Tvl.and_lazy a (fun () -> b)) (Tvl.and_ a b)
+      && Tvl.equal (Tvl.or_lazy a (fun () -> b)) (Tvl.or_ a b))
+
+(* ---------- Collation ---------- *)
+
+let test_collations () =
+  Alcotest.(check bool) "nocase eq" true (Collation.equal_under Nocase "ABC" "abc");
+  Alcotest.(check bool) "nocase neq" false (Collation.equal_under Nocase "ab" "abc");
+  Alcotest.(check bool) "rtrim eq" true (Collation.equal_under Rtrim "a " "a    ");
+  Alcotest.(check bool) "rtrim empty" true (Collation.equal_under Rtrim "" "   ");
+  Alcotest.(check bool) "rtrim leading" false (Collation.equal_under Rtrim " a" "a");
+  Alcotest.(check bool) "binary strict" false (Collation.equal_under Binary "a" "A")
+
+let short_string_gen = QCheck.Gen.(string_size ~gen:(char_range ' ' 'z') (0 -- 8))
+
+let prop_collation_key_consistent =
+  QCheck.Test.make ~name:"collation compare = key compare" ~count:500
+    QCheck.(
+      triple
+        (make ~print:Collation.show (Gen.oneofl Collation.all))
+        (make ~print:Fun.id short_string_gen)
+        (make ~print:Fun.id short_string_gen))
+    (fun (c, a, b) ->
+      let direct = Collation.compare c a b in
+      let keyed = String.compare (Collation.key c a) (Collation.key c b) in
+      compare direct 0 = compare keyed 0)
+
+(* ---------- Numeric ---------- *)
+
+let test_checked_arith () =
+  Alcotest.(check (option int64)) "add overflow" None
+    (Numeric.checked_add Int64.max_int 1L);
+  Alcotest.(check (option int64)) "add ok" (Some 5L) (Numeric.checked_add 2L 3L);
+  Alcotest.(check (option int64)) "sub overflow" None
+    (Numeric.checked_sub Int64.min_int 1L);
+  Alcotest.(check (option int64)) "mul overflow" None
+    (Numeric.checked_mul 4611686018427387904L 2L);
+  Alcotest.(check (option int64)) "mul min_int by -1" None
+    (Numeric.checked_mul Int64.min_int (-1L));
+  Alcotest.(check (option int64)) "neg min_int" None
+    (Numeric.checked_neg Int64.min_int);
+  Alcotest.(check (option int64)) "div by zero" None (Numeric.checked_div 1L 0L);
+  Alcotest.(check (option int64)) "div min by -1" None
+    (Numeric.checked_div Int64.min_int (-1L));
+  Alcotest.(check (option int64)) "rem" (Some 1L) (Numeric.checked_rem 7L 3L)
+
+let test_numeric_prefix () =
+  let check_prefix name s expected =
+    let actual =
+      match Numeric.numeric_prefix s with
+      | `Int i -> "int:" ^ Int64.to_string i
+      | `Real r -> "real:" ^ string_of_float r
+      | `None -> "none"
+    in
+    Alcotest.(check string) name expected actual
+  in
+  check_prefix "plain int" "12" "int:12";
+  check_prefix "prefix int" "12abc" "int:12";
+  check_prefix "real" "1.5x" "real:1.5";
+  check_prefix "exponent" "2e3" "real:2000.";
+  check_prefix "none" "abc" "none";
+  check_prefix "sign only" "-" "none";
+  check_prefix "negative" "-42z" "int:-42";
+  check_prefix "leading spaces" "  7" "int:7";
+  check_prefix "dot only" "." "none";
+  check_prefix "dot lead" ".5" "real:0.5"
+
+let test_parse_exact () =
+  let is_none s = Alcotest.(check bool) s true (Numeric.parse_exact s = None) in
+  Alcotest.(check bool) "exact int" true (Numeric.parse_exact "42" = Some (`Int 42L));
+  Alcotest.(check bool) "exact real" true (Numeric.parse_exact "1.5" = Some (`Real 1.5));
+  is_none "12abc";
+  is_none "";
+  is_none "1.2.3"
+
+let prop_checked_add_model =
+  QCheck.Test.make ~name:"checked_add matches arbitrary-precision model"
+    ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let model =
+        let open Int64 in
+        let exact = add a b in
+        (* detect overflow via sign analysis *)
+        if a >= 0L && b >= 0L && exact < 0L then None
+        else if a < 0L && b < 0L && exact >= 0L then None
+        else Some exact
+      in
+      Numeric.checked_add a b = model)
+
+let test_unsigned () =
+  Alcotest.(check int) "-1 unsigned is max" 1
+    (compare (Numeric.unsigned_compare (-1L) 5L) 0);
+  Alcotest.(check (float 1e6)) "-1 as unsigned float" 1.8446744073709552e19
+    (Numeric.unsigned_to_float (-1L))
+
+(* ---------- Value ordering ---------- *)
+
+let test_value_order () =
+  let lt a b =
+    Alcotest.(check bool)
+      (Value.show a ^ " < " ^ Value.show b)
+      true
+      (Value.compare_total a b < 0)
+  in
+  lt Value.Null (Value.Int 0L);
+  lt (Value.Int 5L) (Value.Text "");
+  lt (Value.Text "zzz") (Value.Blob "");
+  lt (Value.Int 1L) (Value.Real 1.5);
+  lt (Value.Real 0.5) (Value.Int 1L);
+  (* precision: int beyond 2^53 vs the float it would round to *)
+  lt (Value.Int 9007199254740993L) (Value.Real 9007199254740994.0);
+  Alcotest.(check int) "huge int vs equal-rounded float" 1
+    (Value.compare_total (Value.Int Int64.max_int) (Value.Real 9.007199254740992e15))
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (4, map (fun i -> Value.Int i) (map Int64.of_int small_signed_int));
+        (1, map (fun i -> Value.Int i) ui64);
+        (3, map (fun f -> Value.Real f) (float_bound_inclusive 1000.0));
+        (3, map (fun s -> Value.Text s) small_string);
+        (1, map (fun s -> Value.Blob s) small_string);
+        (1, map (fun b -> Value.Bool b) bool);
+      ])
+
+let value_arb = QCheck.make ~print:Value.show value_gen
+
+let prop_order_total =
+  QCheck.Test.make ~name:"compare_total is a total order" ~count:1000
+    (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+      let ( <= ) x y = Value.compare_total x y <= 0 in
+      (* antisymmetry + transitivity spot checks *)
+      ((not (a <= b && b <= a)) || Value.compare_total a b = 0)
+      && ((not (a <= b && b <= c)) || a <= c))
+
+let prop_literal_roundtrip_class =
+  QCheck.Test.make ~name:"sql literal keeps storage class" ~count:500 value_arb
+    (fun v ->
+      (* literal rendering never produces the empty string *)
+      String.length (Value.to_sql_literal v) > 0)
+
+(* ---------- Like matcher ---------- *)
+
+let test_like () =
+  let m ?(cs = true) p t = Like_matcher.like ~case_sensitive:cs ~pattern:p t in
+  Alcotest.(check bool) "exact" true (m "abc" "abc");
+  Alcotest.(check bool) "percent any" true (m "a%" "abcdef");
+  Alcotest.(check bool) "percent empty" true (m "a%" "a");
+  Alcotest.(check bool) "underscore" true (m "a_c" "abc");
+  Alcotest.(check bool) "underscore strict" false (m "a_c" "ac");
+  Alcotest.(check bool) "middle" true (m "%b%" "abc");
+  Alcotest.(check bool) "case insensitive" true (m ~cs:false "ABC" "abc");
+  Alcotest.(check bool) "case sensitive" false (m "ABC" "abc");
+  Alcotest.(check bool) "double percent" true (m "%%" "anything");
+  Alcotest.(check bool) "slash dot" true (m "./" "./");
+  Alcotest.(check bool) "empty pattern" false (m "" "x");
+  Alcotest.(check bool) "empty both" true (m "" "");
+  Alcotest.(check bool) "escape"
+    true
+    (Like_matcher.like ~case_sensitive:true ~escape:'\\' ~pattern:"a\\%b" "a%b");
+  Alcotest.(check bool) "escape no match"
+    false
+    (Like_matcher.like ~case_sensitive:true ~escape:'\\' ~pattern:"a\\%b" "axb")
+
+let test_glob () =
+  let g p t = Like_matcher.glob ~pattern:p t in
+  Alcotest.(check bool) "star" true (g "a*" "abc");
+  Alcotest.(check bool) "question" true (g "a?c" "abc");
+  Alcotest.(check bool) "class" true (g "[a-c]x" "bx");
+  Alcotest.(check bool) "class neg" false (g "[^a-c]x" "bx");
+  Alcotest.(check bool) "class neg match" true (g "[^a-c]x" "dx");
+  Alcotest.(check bool) "case sensitive" false (g "ABC" "abc");
+  Alcotest.(check bool) "unterminated class" false (g "[ab" "a")
+
+let test_literal_prefix () =
+  Alcotest.(check string) "prefix" "ab" (Like_matcher.literal_prefix "ab%cd");
+  Alcotest.(check string) "no wildcard" "abcd" (Like_matcher.literal_prefix "abcd");
+  Alcotest.(check string) "leading wildcard" "" (Like_matcher.literal_prefix "%ab");
+  Alcotest.(check string) "escape kept"
+    "a%"
+    (Like_matcher.literal_prefix ~escape:'\\' "a\\%%rest")
+
+let prop_like_prefix_sound =
+  QCheck.Test.make ~name:"literal_prefix is a true prefix of matches"
+    ~count:500
+    QCheck.(
+      pair (make ~print:Fun.id short_string_gen) (make ~print:Fun.id short_string_gen))
+    (fun (pattern, text) ->
+      if Like_matcher.like ~case_sensitive:true ~pattern text then
+        let p = Like_matcher.literal_prefix pattern in
+        String.length p <= String.length text
+        && String.sub text 0 (String.length p) = p
+      else true)
+
+(* ---------- Coerce ---------- *)
+
+let test_to_tvl () =
+  let ok d v = Result.get_ok (Coerce.to_tvl d v) in
+  Alcotest.(check tvl) "sqlite 0" Tvl.False (ok Dialect.Sqlite_like (Value.Int 0L));
+  Alcotest.(check tvl) "sqlite 2" Tvl.True (ok Dialect.Sqlite_like (Value.Int 2L));
+  Alcotest.(check tvl) "sqlite null" Tvl.Unknown (ok Dialect.Sqlite_like Value.Null);
+  Alcotest.(check tvl) "sqlite text number" Tvl.True
+    (ok Dialect.Sqlite_like (Value.Text "1x"));
+  Alcotest.(check tvl) "sqlite text junk" Tvl.False
+    (ok Dialect.Sqlite_like (Value.Text "abc"));
+  Alcotest.(check tvl) "mysql small double text" Tvl.True
+    (ok Dialect.Mysql_like (Value.Text "0.5"));
+  Alcotest.(check bool) "pg rejects int" true
+    (Result.is_error (Coerce.to_tvl Dialect.Postgres_like (Value.Int 1L)));
+  Alcotest.(check tvl) "pg bool" Tvl.True
+    (ok Dialect.Postgres_like (Value.Bool true))
+
+let test_affinity () =
+  Alcotest.(check check_value) "text to int" (Value.Int 42L)
+    (Coerce.apply_affinity Datatype.A_integer (Value.Text "42"));
+  Alcotest.(check check_value) "text junk stays" (Value.Text "x1")
+    (Coerce.apply_affinity Datatype.A_integer (Value.Text "x1"));
+  Alcotest.(check check_value) "real integral to int" (Value.Int 3L)
+    (Coerce.apply_affinity Datatype.A_integer (Value.Real 3.0));
+  Alcotest.(check check_value) "int to text" (Value.Text "7")
+    (Coerce.apply_affinity Datatype.A_text (Value.Int 7L));
+  Alcotest.(check check_value) "none keeps" (Value.Text "1")
+    (Coerce.apply_affinity Datatype.A_none (Value.Text "1"))
+
+let test_store () =
+  (* mysql clamps out-of-range TINYINT (non-strict mode) *)
+  Alcotest.(check check_value) "mysql tinyint clamp" (Value.Int 127L)
+    (Result.get_ok
+       (Coerce.store Dialect.Mysql_like
+          (Datatype.Int { width = Datatype.Tiny; unsigned = false })
+          (Value.Int 1000L)));
+  Alcotest.(check check_value) "mysql unsigned clamp low" (Value.Int 0L)
+    (Result.get_ok
+       (Coerce.store Dialect.Mysql_like
+          (Datatype.Int { width = Datatype.Tiny; unsigned = true })
+          (Value.Int (-5L))));
+  (* postgres strict: text into int errors *)
+  Alcotest.(check bool) "pg strict" true
+    (Result.is_error
+       (Coerce.store Dialect.Postgres_like
+          (Datatype.Int { width = Datatype.Regular; unsigned = false })
+          (Value.Text "1")));
+  Alcotest.(check bool) "pg int out of range" true
+    (Result.is_error
+       (Coerce.store Dialect.Postgres_like
+          (Datatype.Int { width = Datatype.Regular; unsigned = false })
+          (Value.Int 3000000000L)));
+  (* sqlite stores anything *)
+  Alcotest.(check check_value) "sqlite any" (Value.Text "abc")
+    (Result.get_ok
+       (Coerce.store Dialect.Sqlite_like
+          (Datatype.Int { width = Datatype.Regular; unsigned = false })
+          (Value.Text "abc")))
+
+let test_cast () =
+  Alcotest.(check check_value) "sqlite cast text to int" (Value.Int 1L)
+    (Result.get_ok
+       (Coerce.cast Dialect.Sqlite_like
+          (Datatype.Int { width = Datatype.Regular; unsigned = false })
+          (Value.Text "1.9")));
+  Alcotest.(check check_value) "mysql cast unsigned of -1"
+    (Value.Real 1.8446744073709552e19)
+    (Result.get_ok
+       (Coerce.cast Dialect.Mysql_like
+          (Datatype.Int { width = Datatype.Big; unsigned = true })
+          (Value.Int (-1L))));
+  Alcotest.(check bool) "pg cast invalid text" true
+    (Result.is_error
+       (Coerce.cast Dialect.Postgres_like
+          (Datatype.Int { width = Datatype.Regular; unsigned = false })
+          (Value.Text "abc")));
+  Alcotest.(check check_value) "pg cast text true" (Value.Bool true)
+    (Result.get_ok
+       (Coerce.cast Dialect.Postgres_like Datatype.Bool (Value.Text "true")))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_de_morgan;
+      prop_lazy_agrees;
+      prop_collation_key_consistent;
+      prop_checked_add_model;
+      prop_order_total;
+      prop_literal_roundtrip_class;
+      prop_like_prefix_sound;
+    ]
+
+let () =
+  Alcotest.run "sqlval"
+    [
+      ( "tvl",
+        [
+          Alcotest.test_case "truth tables" `Quick test_tvl_tables;
+        ] );
+      ("collation", [ Alcotest.test_case "builtin collations" `Quick test_collations ]);
+      ( "numeric",
+        [
+          Alcotest.test_case "checked arithmetic" `Quick test_checked_arith;
+          Alcotest.test_case "numeric prefix" `Quick test_numeric_prefix;
+          Alcotest.test_case "parse exact" `Quick test_parse_exact;
+          Alcotest.test_case "unsigned helpers" `Quick test_unsigned;
+        ] );
+      ("value", [ Alcotest.test_case "cross-class order" `Quick test_value_order ]);
+      ( "like",
+        [
+          Alcotest.test_case "like" `Quick test_like;
+          Alcotest.test_case "glob" `Quick test_glob;
+          Alcotest.test_case "literal prefix" `Quick test_literal_prefix;
+        ] );
+      ( "coerce",
+        [
+          Alcotest.test_case "to_tvl" `Quick test_to_tvl;
+          Alcotest.test_case "affinity" `Quick test_affinity;
+          Alcotest.test_case "store" `Quick test_store;
+          Alcotest.test_case "cast" `Quick test_cast;
+        ] );
+      ("properties", qcheck_cases);
+    ]
