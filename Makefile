@@ -1,0 +1,31 @@
+DUNE ?= dune
+
+.PHONY: all build test smoke fmt bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# Two-domain, small-budget campaign over the correct engine: exits non-zero
+# if any oracle reports (i.e. on a false positive).  Finishes well under 30s.
+smoke:
+	$(DUNE) exec bin/sqlancer.exe -- campaign --databases 16 -j 2 --trace /tmp/pqs_smoke.jsonl
+
+# Formatting check.  The development container ships no ocamlformat binary,
+# so the check is skipped (with a notice) when it is unavailable.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		$(DUNE) build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping fmt check"; \
+	fi
+
+bench:
+	$(DUNE) exec bench/main.exe -- campaign
+
+clean:
+	$(DUNE) clean

@@ -199,6 +199,9 @@ let run_target b = function
   | "figure2" -> detections := Some (Experiments.Figure2.run (get_detections b))
   | "figure3" -> detections := Some (Experiments.Figure3.run (get_detections b))
   | "perf" -> Experiments.Throughput.run ~queries:b.throughput_queries ()
+  | "campaign" ->
+      Experiments.Campaign_bench.run ~domains:4
+        ~databases:(b.throughput_queries / 25) ()
   | "baselines" ->
       Experiments.Baseline_cmp.run ~fuzzer_budget:b.fuzzer_budget
         ~difftest_budget:b.difftest_budget (get_detections b)
@@ -211,7 +214,7 @@ let run_target b = function
 let all_targets =
   [
     "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3"; "perf";
-    "baselines"; "ablations"; "metamorphic"; "micro";
+    "campaign"; "baselines"; "ablations"; "metamorphic"; "micro";
   ]
 
 let () =

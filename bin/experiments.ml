@@ -42,6 +42,7 @@ let () =
       | "bugs" -> Experiments.Bug_catalog_doc.generate (get ())
       | "figure3" -> detections := Some (Experiments.Figure3.run (get ()))
       | "perf" -> Experiments.Throughput.run ()
+      | "campaign" -> Experiments.Campaign_bench.run ()
       | "baselines" -> Experiments.Baseline_cmp.run (get ())
       | "ablations" -> Experiments.Ablations.run ()
       | t -> Printf.printf "unknown target %s\n" t)

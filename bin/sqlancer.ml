@@ -86,7 +86,7 @@ let hunt dialect bug seed queries no_reduce =
     end
   in
   let bugs = Engine.Bug.set_of_list [ bug ] in
-  let config = Pqs.Runner.default_config ~seed ~bugs dialect in
+  let config = Pqs.Runner.Config.make ~seed ~bugs dialect in
   Printf.printf "hunting %s (%s) with up to %d containment checks...\n%!"
     (Engine.Bug.show bug) info.Engine.Bug.summary queries;
   match Pqs.Runner.hunt config ~max_queries:queries with
@@ -119,15 +119,11 @@ let run dialect seed queries all_bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
-  let config = Pqs.Runner.default_config ~seed ~bugs dialect in
+  let config = Pqs.Runner.Config.make ~seed ~bugs dialect in
   let stats = Pqs.Runner.run ~max_queries:queries config in
-  Printf.printf
-    "databases=%d pivots=%d containment-checks=%d statements=%d findings=%d\n"
-    stats.Pqs.Runner.databases stats.Pqs.Runner.pivots stats.Pqs.Runner.queries
-    stats.Pqs.Runner.statements
-    (List.length stats.Pqs.Runner.reports);
-  List.iter (print_report ~reduce:true ~bugs) (List.rev stats.Pqs.Runner.reports);
-  if stats.Pqs.Runner.reports = [] then 0 else 1
+  print_endline (Pqs.Stats.summary stats);
+  List.iter (print_report ~reduce:true ~bugs) stats.Pqs.Stats.reports;
+  if stats.Pqs.Stats.reports = [] then 0 else 1
 
 let run_cmd =
   let all_bugs =
@@ -139,6 +135,81 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run the PQS loop and report findings")
     Term.(const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs)
+
+(* ---- campaign ---- *)
+
+let campaign_run dialect seed databases domains trace all_bugs with_metamorphic
+    =
+  let bugs =
+    if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
+    else Engine.Bug.empty_set
+  in
+  let oracles =
+    if with_metamorphic then Pqs.Oracle.defaults @ [ Pqs.Oracle.metamorphic () ]
+    else Pqs.Oracle.defaults
+  in
+  let config = Pqs.Runner.Config.make ~bugs ~oracles dialect in
+  let c =
+    Pqs.Campaign.run ?domains ?trace ~seed_lo:seed ~seed_hi:(seed + databases)
+      config
+  in
+  Printf.printf "domains=%d wall=%.2fs stmts/s=%.0f\n%s\n"
+    c.Pqs.Campaign.domains c.Pqs.Campaign.elapsed
+    (Pqs.Campaign.statements_per_sec c)
+    (Pqs.Stats.summary c.Pqs.Campaign.stats);
+  (match trace with
+  | Some path -> Printf.printf "event trace written to %s\n" path
+  | None -> ());
+  List.iter (print_report ~reduce:true ~bugs) (Pqs.Campaign.reports c);
+  if Pqs.Campaign.reports c = [] then 0 else 1
+
+let campaign dialect seed databases domains trace all_bugs with_metamorphic =
+  try
+    campaign_run dialect seed databases domains trace all_bugs with_metamorphic
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let campaign_cmd =
+  let databases =
+    Arg.(
+      value & opt int 64
+      & info [ "databases" ] ~docv:"N"
+          ~doc:"seed range size: one database round per seed")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:"worker domains (default: the machine's recommended count)")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"write a JSONL event trace")
+  in
+  let all_bugs =
+    Arg.(
+      value & flag
+      & info [ "all-bugs" ]
+          ~doc:"enable every catalog bug of the dialect (default: none)")
+  in
+  let with_metamorphic =
+    Arg.(
+      value & flag
+      & info [ "metamorphic" ]
+          ~doc:"add the metamorphic aggregate-partition oracle")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "shard a seed range across domains, one database per seed, and \
+          merge the results deterministically")
+    Term.(
+      const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
+      $ all_bugs $ with_metamorphic)
 
 (* ---- metamorphic ---- *)
 
@@ -187,4 +258,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ list_bugs_cmd; hunt_cmd; run_cmd; metamorphic_cmd ]))
+       (Cmd.group info
+          [ list_bugs_cmd; hunt_cmd; run_cmd; campaign_cmd; metamorphic_cmd ]))

@@ -11,9 +11,7 @@ let () =
   Printf.printf "models        : paper %s\n" info.Engine.Bug.paper_ref;
   Printf.printf "summary       : %s\n\n" info.Engine.Bug.summary;
   let bugs = Engine.Bug.set_of_list [ bug ] in
-  let config =
-    Pqs.Runner.default_config ~seed:7 ~bugs info.Engine.Bug.dialect
-  in
+  let config = Pqs.Runner.Config.make ~seed:7 ~bugs info.Engine.Bug.dialect in
   Printf.printf "hunting (up to 20000 containment checks)...\n%!";
   match Pqs.Runner.hunt config ~max_queries:20000 with
   | None -> print_endline "not found — try another seed"

@@ -1,6 +1,6 @@
 open Sqlval
 
-type oracle = Containment | Non_containment | Error_oracle | Crash
+type oracle = Containment | Non_containment | Error_oracle | Crash | Metamorphic
 [@@deriving show { with_path = false }, eq]
 
 (* the negative variant reports under the same Table 3 column *)
@@ -8,6 +8,7 @@ let oracle_label = function
   | Containment | Non_containment -> "Contains"
   | Error_oracle -> "Error"
   | Crash -> "SEGFAULT"
+  | Metamorphic -> "Metamorphic"
 
 type t = {
   dialect : Dialect.t;

@@ -9,6 +9,9 @@ type oracle =
           contained (paper Section 7 extension) *)
   | Error_oracle
   | Crash
+  | Metamorphic
+      (** an aggregate partition relation was violated (paper Section 7
+          future work; see {!Metamorphic} and [Oracle.metamorphic]) *)
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val show_oracle : oracle -> string

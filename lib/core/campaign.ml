@@ -1,0 +1,98 @@
+type outcome = {
+  seed : int;
+  worker : int;
+  round : Stats.t;
+  wall : float;
+}
+
+type t = {
+  stats : Stats.t;
+  outcomes : outcome list;
+  domains : int;
+  elapsed : float;
+}
+
+let reports t = t.stats.Stats.reports
+
+let statements_per_sec t =
+  if t.elapsed <= 0.0 then 0.0
+  else float_of_int t.stats.Stats.statements /. t.elapsed
+
+let seed_line o =
+  Printf.sprintf
+    "{\"type\":\"seed\",\"seed\":%d,\"worker\":%d,\"statements\":%d,\
+     \"queries\":%d,\"pivots\":%d,\"reports\":%d,\"wall_ms\":%.3f}"
+    o.seed o.worker o.round.Stats.statements o.round.Stats.queries
+    o.round.Stats.pivots
+    (List.length o.round.Stats.reports)
+    (o.wall *. 1000.0)
+
+let summary_line t =
+  Printf.sprintf
+    "{\"type\":\"campaign\",\"domains\":%d,\"databases\":%d,\
+     \"statements\":%d,\"queries\":%d,\"reports\":%d,\"wall_s\":%.3f,\
+     \"statements_per_sec\":%.1f}"
+    t.domains t.stats.Stats.databases t.stats.Stats.statements
+    t.stats.Stats.queries
+    (List.length t.stats.Stats.reports)
+    t.elapsed (statements_per_sec t)
+
+let output_trace oc t =
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun o -> output_string oc (seed_line o ^ "\n")) t.outcomes;
+      output_string oc (summary_line t ^ "\n"))
+
+let write_trace t path = output_trace (open_out path) t
+
+let run ?domains ?trace ~seed_lo ~seed_hi (config : Runner.config) =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  (* open the trace before spending any compute, so a bad path fails fast *)
+  let trace_oc = Option.map open_out trace in
+  let seeds = List.init (max 0 (seed_hi - seed_lo)) (fun i -> seed_lo + i) in
+  (* striped sharding balances load; any deterministic assignment yields
+     the same merged result because rounds are independent *)
+  let shard w = List.filter (fun s -> (s - seed_lo) mod domains = w) seeds in
+  (* each worker gets a private coverage instrument so domains never share
+     the mutable hit tables; merged below after the join *)
+  let worker_covs =
+    match config.Runner.Config.coverage with
+    | None -> [||]
+    | Some _ -> Array.init domains (fun _ -> Engine.Coverage.create ())
+  in
+  let work w () =
+    let config =
+      if Array.length worker_covs = 0 then config
+      else Runner.Config.with_coverage (Some worker_covs.(w)) config
+    in
+    List.map
+      (fun s ->
+        let t0 = Unix.gettimeofday () in
+        let round = Runner.run_round config ~db_seed:s in
+        { seed = s; worker = w; round; wall = Unix.gettimeofday () -. t0 })
+      (shard w)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    if domains = 1 then work 0 ()
+    else
+      List.init domains (fun w -> Domain.spawn (work w))
+      |> List.concat_map Domain.join
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match config.Runner.Config.coverage with
+  | Some dst ->
+      Array.iter (fun src -> Engine.Coverage.merge_into ~dst ~src) worker_covs
+  | None -> ());
+  let outcomes =
+    List.sort (fun a b -> compare a.seed b.seed) outcomes
+  in
+  let stats = Stats.merge_all (List.map (fun o -> o.round) outcomes) in
+  let t = { stats; outcomes; domains; elapsed } in
+  (match trace_oc with Some oc -> output_trace oc t | None -> ());
+  t

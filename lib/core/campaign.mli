@@ -1,0 +1,62 @@
+(** Multi-domain campaign orchestrator.
+
+    PQS runs "one worker thread per database" for months (paper
+    Section 3.4).  A campaign makes that shape first-class: a seed range
+    [\[seed_lo, seed_hi)] is sharded across N OCaml domains, each seed is
+    one complete {!Runner.run_round} — its own [Engine.Session], its own
+    database, its own deterministic RNG — and the per-seed results are
+    merged with {!Stats.merge} in ascending seed order.  Because every
+    round depends only on [(config, seed)], an N-domain campaign reports
+    the *identical* bug set and merged statistics as a sequential run over
+    the same seeds; only wall time differs.
+
+    Observability: each seed yields a {!outcome} with its wall time, an
+    optional JSONL event trace records one line per seed plus a campaign
+    summary, and per-worker coverage instruments are merged into the
+    config's instrument after the join. *)
+
+type outcome = {
+  seed : int;  (** the database seed of this round *)
+  worker : int;  (** which domain executed it *)
+  round : Stats.t;  (** the round's statistics (≤ 1 report) *)
+  wall : float;  (** seconds spent on this round *)
+}
+
+type t = {
+  stats : Stats.t;
+      (** deterministic merge of all rounds, ascending seed order *)
+  outcomes : outcome list;  (** ascending seed order *)
+  domains : int;
+  elapsed : float;  (** campaign wall time, seconds *)
+}
+
+(** Merged bug reports, ascending seed order. *)
+val reports : t -> Bug_report.t list
+
+(** Merged statements per second of campaign wall time. *)
+val statements_per_sec : t -> float
+
+(** Run the campaign.
+
+    @param domains
+      worker count; defaults to [Domain.recommended_domain_count ()].
+      [domains:1] runs inline without spawning.
+    @param trace
+      write a JSONL event trace to this path: one
+      [{"type":"seed",...}] object per round (seed, worker, statements,
+      queries, pivots, reports, wall_ms) and a final
+      [{"type":"campaign",...}] summary.
+    @param seed_lo inclusive start of the seed range
+    @param seed_hi exclusive end of the seed range
+
+    [Config.seed] is ignored — the range provides the seeds. *)
+val run :
+  ?domains:int ->
+  ?trace:string ->
+  seed_lo:int ->
+  seed_hi:int ->
+  Runner.config ->
+  t
+
+(** Write the JSONL trace of a finished campaign. *)
+val write_trace : t -> string -> unit

@@ -1,0 +1,109 @@
+open Sqlval
+
+type context = {
+  ctx_dialect : Dialect.t;
+  ctx_session : Engine.Session.t;
+  ctx_db_seed : int;
+  ctx_rng : Rng.t;
+}
+
+type outcome =
+  | Succeeded of Engine.Session.exec_result
+  | Failed of Engine.Errors.t
+  | Crashed of string
+
+type check = {
+  check_stmt : Sqlast.Ast.stmt;
+  negative : bool;
+  pivot_found : bool;
+}
+
+type event =
+  | Statement of Sqlast.Ast.stmt * outcome
+  | Containment_check of check
+  | Database_ready
+
+type verdict =
+  | Pass
+  | Report of { kind : Bug_report.oracle; message : string }
+
+module type S = sig
+  val name : string
+  val observe : context -> event -> verdict
+end
+
+type t = (module S)
+
+let name (module O : S) = O.name
+let observe (module O : S) ctx event = O.observe ctx event
+
+let make ~name observe : t =
+  (module struct
+    let name = name
+    let observe = observe
+  end)
+
+let error_oracle : t =
+  make ~name:"error" (fun ctx -> function
+    | Statement (stmt, Failed e) ->
+        if Expected_errors.is_expected ctx.ctx_dialect stmt e then Pass
+        else
+          Report
+            { kind = Bug_report.Error_oracle; message = Engine.Errors.show e }
+    | _ -> Pass)
+
+let crash_oracle : t =
+  make ~name:"crash" (fun _ -> function
+    | Statement (_, Crashed msg) ->
+        Report { kind = Bug_report.Crash; message = msg }
+    | _ -> Pass)
+
+let containment : t =
+  make ~name:"containment" (fun _ -> function
+    | Containment_check { negative; pivot_found; _ } ->
+        if negative && pivot_found then
+          Report
+            {
+              kind = Bug_report.Non_containment;
+              message = "pivot row unexpectedly contained in result set";
+            }
+        else if (not negative) && not pivot_found then
+          Report
+            {
+              kind = Bug_report.Containment;
+              message = "pivot row not contained in result set";
+            }
+        else Pass
+    | _ -> Pass)
+
+let metamorphic ?(checks_per_db = 4) () : t =
+  make ~name:"metamorphic" (fun ctx -> function
+    | Database_ready ->
+        let tables = Schema_info.tables_of_session ctx.ctx_session in
+        let rec go budget = function
+          | [] -> Pass
+          | _ when budget <= 0 -> Pass
+          | table :: rest -> (
+              match
+                Metamorphic.check ctx.ctx_session ~rng:ctx.ctx_rng ~table
+              with
+              | Metamorphic.Inconsistent msg ->
+                  Report { kind = Bug_report.Metamorphic; message = msg }
+              | Metamorphic.Consistent | Metamorphic.Skipped ->
+                  go (budget - 1) rest)
+        in
+        go checks_per_db tables
+    | _ -> Pass)
+
+let defaults = [ error_oracle; crash_oracle; containment ]
+
+let first_report oracles ctx event =
+  List.fold_left
+    (fun acc oracle ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match observe oracle ctx event with
+          | Pass -> None
+          | Report { kind; message } -> Some (kind, message)))
+    None oracles

@@ -1,0 +1,94 @@
+(** Pluggable test oracles.
+
+    The paper hard-wires three oracles into the main loop: containment
+    (steps 6–7), expected errors, and crashes.  Follow-on systems host many
+    more behind the same generate/check skeleton, so the runner exposes
+    them as first-class values of signature {!S}: the runner emits
+    {!event}s — one per executed statement, one per synthesized containment
+    check, one when a database finishes generating — and each oracle in
+    [Runner.Config.oracles] maps the event to a {!verdict}.  The first
+    [Report] verdict of the round wins and becomes a {!Bug_report.t}.
+
+    Oracles must be deterministic functions of the [context] and [event]
+    (draw randomness only from [ctx_rng]) so that campaign runs merge
+    deterministically across workers. *)
+
+open Sqlval
+
+(** Everything an oracle may inspect.  [ctx_rng] is a private random
+    stream, seeded from the database seed independently of the generator's
+    stream, so observing it never perturbs query synthesis. *)
+type context = {
+  ctx_dialect : Dialect.t;
+  ctx_session : Engine.Session.t;
+  ctx_db_seed : int;
+  ctx_rng : Rng.t;
+}
+
+(** How one statement execution ended. *)
+type outcome =
+  | Succeeded of Engine.Session.exec_result
+  | Failed of Engine.Errors.t
+  | Crashed of string  (** the simulated SEGFAULT *)
+
+(** One synthesized containment check (paper steps 3–7). *)
+type check = {
+  check_stmt : Sqlast.Ast.stmt;
+  negative : bool;
+      (** rectified-to-FALSE variant: the pivot row must be absent *)
+  pivot_found : bool;  (** did the result set contain the pivot row? *)
+}
+
+type event =
+  | Statement of Sqlast.Ast.stmt * outcome
+      (** any statement the runner executed, including the containment
+          query itself when it errors or crashes *)
+  | Containment_check of check
+      (** a containment query that returned a result set *)
+  | Database_ready
+      (** database generation finished; whole-database oracles (e.g.
+          metamorphic partition checks) run here against [ctx_session] *)
+
+type verdict =
+  | Pass
+  | Report of { kind : Bug_report.oracle; message : string }
+
+(** The ORACLE signature. *)
+module type S = sig
+  val name : string
+  val observe : context -> event -> verdict
+end
+
+type t = (module S)
+
+val name : t -> string
+val observe : t -> context -> event -> verdict
+
+(** Build an oracle from a function (stub oracles, tests, one-offs). *)
+val make : name:string -> (context -> event -> verdict) -> t
+
+(** The paper's error oracle: any statement error not in the
+    {!Expected_errors} whitelist. *)
+val error_oracle : t
+
+(** The paper's crash oracle: simulated SEGFAULTs. *)
+val crash_oracle : t
+
+(** The pivoted-query containment oracle, both polarities: a positive
+    check whose result set misses the pivot row, or a negative
+    (rectified-to-FALSE) check that contains it. *)
+val containment : t
+
+(** Metamorphic aggregate-partition oracle (paper Section 7 future work):
+    on [Database_ready], checks up to [checks_per_db] random partition
+    relations via {!Metamorphic.check}.  Reports under
+    {!Bug_report.Metamorphic}. *)
+val metamorphic : ?checks_per_db:int -> unit -> t
+
+(** [error_oracle; crash_oracle; containment] — the paper's oracle set and
+    the runner default. *)
+val defaults : t list
+
+(** Fold the oracles over an event; the first [Report] wins. *)
+val first_report :
+  t list -> context -> event -> (Bug_report.oracle * string) option

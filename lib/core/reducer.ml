@@ -71,6 +71,10 @@ let manifestation_check ~dialect ~bugs ~oracle : check =
           | Some 0 -> true
           | _ -> false)
       | _ -> false)
+  | Bug_report.Metamorphic ->
+      (* the violated partition relation cannot be re-checked from the
+         statement list alone, so reduction is a no-op for these reports *)
+      false
 
 (* one pass of greedy single-statement deletion; [keep_last] protects the
    detecting query *)

@@ -1,71 +1,59 @@
 open Sqlval
 module A = Sqlast.Ast
 
-type config = {
-  dialect : Dialect.t;
-  bugs : Engine.Bug.set;
-  seed : int;
-  table_count : int;
-  max_rows : int;
-  extra_statements : int;
-  pivots_per_db : int;
-  queries_per_pivot : int;
-  max_depth : int;
-  check_expressions : bool;
-  verify_ground_truth : bool;
-  rectify : bool;
-  coverage : Engine.Coverage.t option;
-  check_non_containment : bool;
-}
+module Config = struct
+  type t = {
+    dialect : Dialect.t;
+    bugs : Engine.Bug.set;
+    seed : int;
+    table_count : int;
+    max_rows : int;
+    extra_statements : int;
+    pivots_per_db : int;
+    queries_per_pivot : int;
+    max_depth : int;
+    check_expressions : bool;
+    verify_ground_truth : bool;
+    rectify : bool;
+    coverage : Engine.Coverage.t option;
+    check_non_containment : bool;
+    oracles : Oracle.t list;
+  }
+
+  let make ?(bugs = Engine.Bug.empty_set) ?(seed = 1) ?(table_count = 2)
+      ?(max_rows = 6) ?(extra_statements = 8) ?(pivots_per_db = 4)
+      ?(queries_per_pivot = 6) ?(max_depth = 4) ?(check_expressions = true)
+      ?(verify_ground_truth = true) ?(rectify = true) ?coverage
+      ?(check_non_containment = true) ?(oracles = Oracle.defaults) dialect =
+    {
+      dialect;
+      bugs;
+      seed;
+      table_count;
+      max_rows;
+      extra_statements;
+      pivots_per_db;
+      queries_per_pivot;
+      max_depth;
+      check_expressions;
+      verify_ground_truth;
+      rectify;
+      coverage;
+      check_non_containment;
+      oracles;
+    }
+
+  let with_seed seed t = { t with seed }
+  let with_oracles oracles t = { t with oracles }
+  let with_coverage coverage t = { t with coverage }
+end
+
+type config = Config.t
 
 let default_config ?(seed = 1) ?(bugs = Engine.Bug.empty_set) dialect =
-  {
-    dialect;
-    bugs;
-    seed;
-    table_count = 2;
-    max_rows = 6;
-    extra_statements = 8;
-    pivots_per_db = 4;
-    queries_per_pivot = 6;
-    max_depth = 4;
-    check_expressions = true;
-    verify_ground_truth = true;
-    rectify = true;
-    coverage = None;
-    check_non_containment = true;
-  }
+  Config.make ~seed ~bugs dialect
 
-type stats = {
-  mutable databases : int;
-  mutable pivots : int;
-  mutable queries : int;
-  mutable statements : int;
-  mutable interp_failures : int;
-  mutable false_positives : int;
-  mutable reports : Bug_report.t list;
-  mutable truth_values : (Tvl.t * int) list;
-  mutable negative_checks : int;
-}
-
-let empty_stats () =
-  {
-    databases = 0;
-    pivots = 0;
-    queries = 0;
-    statements = 0;
-    interp_failures = 0;
-    false_positives = 0;
-    reports = [];
-    truth_values = [ (Tvl.True, 0); (Tvl.False, 0); (Tvl.Unknown, 0) ];
-    negative_checks = 0;
-  }
-
-let bump_truth stats t =
-  stats.truth_values <-
-    List.map
-      (fun (t', n) -> if Tvl.equal t t' then (t', n + 1) else (t', n))
-      stats.truth_values
+type stats = Stats.t
 
 (* replay a script on a correct engine and report whether the final SELECT
    returns at least one row without error *)
@@ -102,42 +90,65 @@ let correct_engine_misses dialect stmts =
    with Engine.Errors.Crash _ -> ());
   !empty
 
-let run_database_round config stats : Bug_report.t option =
-  let db_seed = config.seed + (stats.databases * 7919) in
-  stats.databases <- stats.databases + 1;
+(* ground-truth confirmation applies only to the containment kinds; the
+   other oracles (error, crash, metamorphic, user-defined) are their own
+   witnesses *)
+let confirm_report (config : Config.t) kind script =
+  (not config.Config.verify_ground_truth)
+  ||
+  match kind with
+  | Bug_report.Containment -> correct_engine_fetches config.Config.dialect script
+  | Bug_report.Non_containment ->
+      correct_engine_misses config.Config.dialect script
+  | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Metamorphic -> true
+
+let run_round (config : Config.t) ~db_seed : Stats.t =
+  let open Config in
+  let stats = ref { Stats.empty with Stats.databases = 1 } in
   let rng = Rng.make ~seed:db_seed in
   let session =
     Engine.Session.create ~seed:db_seed ~bugs:config.bugs
       ?coverage:config.coverage config.dialect
   in
+  let ctx =
+    {
+      Oracle.ctx_dialect = config.dialect;
+      ctx_session = session;
+      ctx_db_seed = db_seed;
+      (* a private stream: oracle randomness must not perturb synthesis *)
+      ctx_rng = Rng.make ~seed:(db_seed + 104651);
+    }
+  in
   let log = ref [] in
-  let finding = ref None in
-  let report oracle message =
+  let record kind message =
     let r =
       {
         Bug_report.dialect = config.dialect;
-        oracle;
+        oracle = kind;
         message;
         statements = List.rev !log;
         reduced = None;
         seed = db_seed;
       }
     in
-    stats.reports <- r :: stats.reports;
-    if !finding = None then finding := Some r;
+    stats := Stats.add_report !stats r;
     Some r
   in
-  (* execute one statement under the error and crash oracles; returns a
+  let dispatch event = Oracle.first_report config.oracles ctx event in
+  (* execute one statement under the statement-level oracles; returns a
      report if one fired *)
   let exec stmt : Bug_report.t option =
     log := stmt :: !log;
-    stats.statements <- stats.statements + 1;
-    match Engine.Session.execute session stmt with
-    | Ok _ -> None
-    | Error e ->
-        if Expected_errors.is_expected config.dialect stmt e then None
-        else report Bug_report.Error_oracle (Engine.Errors.show e)
-    | exception Engine.Errors.Crash msg -> report Bug_report.Crash msg
+    stats := { !stats with Stats.statements = (!stats).Stats.statements + 1 };
+    let outcome =
+      match Engine.Session.execute session stmt with
+      | Ok r -> Oracle.Succeeded r
+      | Error e -> Oracle.Failed e
+      | exception Engine.Errors.Crash msg -> Oracle.Crashed msg
+    in
+    match dispatch (Oracle.Statement (stmt, outcome)) with
+    | Some (kind, message) -> record kind message
+    | None -> None
   in
   let rec exec_all = function
     | [] -> None
@@ -188,208 +199,224 @@ let run_database_round config stats : Bug_report.t option =
             | Some _ -> r
             | None -> exec_all (Gen_db.fill_statements gen_cfg session)))
   in
-  match generation () with
-  | Some r -> Some r
-  | None -> (
-      (* ---- steps 2-7 ---- *)
-      let pivot_rounds () =
-        let pivot_sources () =
-          let tables =
-            Schema_info.tables_of_session session
-            |> List.filter_map (fun (ti : Schema_info.table_info) ->
-                   match
-                     Schema_info.rows_of_table session ti.Schema_info.ti_name
-                   with
-                   | [] -> None
-                   | rows ->
-                       (* the scan count (incl. inherited rows) is what the
-                          single-row aggregate extension keys on *)
-                       Some
-                         ( {
-                             ti with
-                             Schema_info.ti_row_count = List.length rows;
-                           },
-                           rows ))
-          in
-          (* views join the candidate pool occasionally (paper Sec. 4.2) *)
-          let views =
-            Schema_info.view_pivot_sources session
-            |> List.filter (fun (_, rows) -> rows <> [])
-          in
-          if views <> [] && Rng.chance rng 0.25 then tables @ views else tables
-        in
-        let rec pivots k =
-          if k <= 0 then None
-          else
-            match pivot_sources () with
-            | [] -> None
-            | sources -> (
-                stats.pivots <- stats.pivots + 1;
-                (* step 2: one random row per chosen table/view *)
-                let chosen =
-                  let k =
-                    if List.length sources >= 2 && Rng.bool rng then 2 else 1
-                  in
-                  Rng.sample rng k sources
-                in
-                let pivot =
-                  List.map
-                    (fun ((ti : Schema_info.table_info), rows) ->
-                      (ti, Rng.pick rng rows))
-                    chosen
-                in
-                let csl =
-                  Engine.Options.case_sensitive_like
-                    (Engine.Session.options session)
-                in
-                let rec queries q =
-                  if q <= 0 then None
-                  else
-                    (* Section 7 extension: occasionally rectify to FALSE and
-                       require the pivot row to be absent.  Restricted to
-                       single-table pivots: with joins, a LEFT JOIN's
-                       NULL-extended rows could coincide with the expected
-                       tuple. *)
-                    let negative =
-                      config.check_non_containment
-                      && List.length pivot = 1
-                      && Rng.chance rng 0.2
+  let round () =
+    match generation () with
+    | Some r -> Some r
+    | None -> (
+        (* whole-database oracles (e.g. metamorphic partition checks) *)
+        match dispatch Oracle.Database_ready with
+        | Some (kind, message) -> record kind message
+        | None ->
+            (* ---- steps 2-7 ---- *)
+            let pivot_sources () =
+              let tables =
+                Schema_info.tables_of_session session
+                |> List.filter_map (fun (ti : Schema_info.table_info) ->
+                       match
+                         Schema_info.rows_of_table session
+                           ti.Schema_info.ti_name
+                       with
+                       | [] -> None
+                       | rows ->
+                           (* the scan count (incl. inherited rows) is what
+                              the single-row aggregate extension keys on *)
+                           Some
+                             ( {
+                                 ti with
+                                 Schema_info.ti_row_count = List.length rows;
+                               },
+                               rows ))
+              in
+              (* views join the candidate pool occasionally (paper
+                 Sec. 4.2) *)
+              let views =
+                Schema_info.view_pivot_sources session
+                |> List.filter (fun (_, rows) -> rows <> [])
+              in
+              if views <> [] && Rng.chance rng 0.25 then tables @ views
+              else tables
+            in
+            let rec pivots k =
+              if k <= 0 then None
+              else
+                match pivot_sources () with
+                | [] -> None
+                | sources -> (
+                    stats :=
+                      { !stats with Stats.pivots = (!stats).Stats.pivots + 1 };
+                    (* step 2: one random row per chosen table/view *)
+                    let chosen =
+                      let k =
+                        if List.length sources >= 2 && Rng.bool rng then 2
+                        else 1
+                      in
+                      Rng.sample rng k sources
                     in
-                    let target = if negative then Tvl.False else Tvl.True in
-                    (* steps 3-5 with retries on oracle-uncomputable exprs *)
-                    let rec attempt tries =
-                      if tries <= 0 then None
+                    let pivot =
+                      List.map
+                        (fun ((ti : Schema_info.table_info), rows) ->
+                          (ti, Rng.pick rng rows))
+                        chosen
+                    in
+                    let csl =
+                      Engine.Options.case_sensitive_like
+                        (Engine.Session.options session)
+                    in
+                    let rec queries q =
+                      if q <= 0 then None
                       else
-                        match
-                          Gen_query.synthesize ~rectify:config.rectify ~target
-                            ~rng ~dialect:config.dialect ~pivot
-                            ~case_sensitive_like:csl
-                            ~max_depth:config.max_depth
-                              (* expression targets are unsound for the
-                                 negative variant: a different row may
-                                 project to the same value *)
-                            ~check_expressions:
-                              (config.check_expressions && not negative)
-                            ()
-                        with
-                        | Ok t ->
-                            List.iter (bump_truth stats) t.Gen_query.raw_truths;
-                            Some t
-                        | Error _ ->
-                            stats.interp_failures <- stats.interp_failures + 1;
-                            attempt (tries - 1)
-                    in
-                    match attempt 5 with
-                    | None -> queries (q - 1)
-                    | Some t -> (
-                        stats.queries <- stats.queries + 1;
-                        if negative then
-                          stats.negative_checks <- stats.negative_checks + 1;
-                        let stmt = Gen_query.containment_stmt t in
-                        log := stmt :: !log;
-                        stats.statements <- stats.statements + 1;
-                        match Engine.Session.execute session stmt with
-                        | Ok (Engine.Session.Rows rs) ->
-                            let empty = rs.Engine.Executor.rs_rows = [] in
-                            let violation =
-                              if negative then not empty else empty
+                        (* Section 7 extension: occasionally rectify to FALSE
+                           and require the pivot row to be absent.  Restricted
+                           to single-table pivots: with joins, a LEFT JOIN's
+                           NULL-extended rows could coincide with the expected
+                           tuple. *)
+                        let negative =
+                          config.check_non_containment
+                          && List.length pivot = 1
+                          && Rng.chance rng 0.2
+                        in
+                        let target = if negative then Tvl.False else Tvl.True in
+                        (* steps 3-5 with retries on oracle-uncomputable
+                           exprs *)
+                        let rec attempt tries =
+                          if tries <= 0 then None
+                          else
+                            match
+                              Gen_query.synthesize ~rectify:config.rectify
+                                ~target ~rng ~dialect:config.dialect ~pivot
+                                ~case_sensitive_like:csl
+                                ~max_depth:config.max_depth
+                                  (* expression targets are unsound for the
+                                     negative variant: a different row may
+                                     project to the same value *)
+                                ~check_expressions:
+                                  (config.check_expressions && not negative)
+                                ()
+                            with
+                            | Ok t ->
+                                stats :=
+                                  List.fold_left Stats.bump_truth !stats
+                                    t.Gen_query.raw_truths;
+                                Some t
+                            | Error _ ->
+                                stats :=
+                                  {
+                                    !stats with
+                                    Stats.interp_failures =
+                                      (!stats).Stats.interp_failures + 1;
+                                  };
+                                attempt (tries - 1)
+                        in
+                        match attempt 5 with
+                        | None -> queries (q - 1)
+                        | Some t -> (
+                            stats :=
+                              {
+                                !stats with
+                                Stats.queries = (!stats).Stats.queries + 1;
+                              };
+                            if negative then
+                              stats :=
+                                {
+                                  !stats with
+                                  Stats.negative_checks =
+                                    (!stats).Stats.negative_checks + 1;
+                                };
+                            let stmt = Gen_query.containment_stmt t in
+                            log := stmt :: !log;
+                            stats :=
+                              {
+                                !stats with
+                                Stats.statements =
+                                  (!stats).Stats.statements + 1;
+                              };
+                            let drop_and_continue () =
+                              log := List.tl !log;
+                              queries (q - 1)
                             in
-                            if violation then begin
-                              let confirmed =
-                                (not config.verify_ground_truth)
-                                ||
-                                if negative then
-                                  correct_engine_misses config.dialect
-                                    (List.rev !log)
-                                else
-                                  correct_engine_fetches config.dialect
-                                    (List.rev !log)
-                              in
-                              if confirmed then
-                                report
-                                  (if negative then Bug_report.Non_containment
-                                   else Bug_report.Containment)
-                                  (if negative then
-                                     "pivot row unexpectedly contained in \
-                                      result set"
-                                   else "pivot row not contained in result set")
-                              else begin
-                                stats.false_positives <-
-                                  stats.false_positives + 1;
-                                (* drop the offending query from the log *)
-                                log := List.tl !log;
-                                queries (q - 1)
-                              end
-                            end
-                            else begin
-                              (* check passed: drop it from the log to keep
-                                 reproduction scripts small *)
-                              log := List.tl !log;
-                              queries (q - 1)
-                            end
-                        | Ok _ ->
-                            log := List.tl !log;
-                            queries (q - 1)
-                        | Error e ->
-                            if
-                              Expected_errors.is_expected config.dialect stmt e
-                            then begin
-                              log := List.tl !log;
-                              queries (q - 1)
-                            end
-                            else
-                              report Bug_report.Error_oracle
-                                (Engine.Errors.show e)
-                        | exception Engine.Errors.Crash msg ->
-                            report Bug_report.Crash msg)
-                in
-                match queries config.queries_per_pivot with
-                | Some r -> Some r
-                | None -> pivots (k - 1))
-        in
-        pivots config.pivots_per_db
-      in
-      match pivot_rounds () with Some r -> Some r | None -> None)
+                            match Engine.Session.execute session stmt with
+                            | Ok (Engine.Session.Rows rs) -> (
+                                let pivot_found =
+                                  rs.Engine.Executor.rs_rows <> []
+                                in
+                                match
+                                  dispatch
+                                    (Oracle.Containment_check
+                                       {
+                                         Oracle.check_stmt = stmt;
+                                         negative;
+                                         pivot_found;
+                                       })
+                                with
+                                | Some (kind, message) ->
+                                    if
+                                      confirm_report config kind
+                                        (List.rev !log)
+                                    then record kind message
+                                    else begin
+                                      stats :=
+                                        {
+                                          !stats with
+                                          Stats.false_positives =
+                                            (!stats).Stats.false_positives + 1;
+                                        };
+                                      (* drop the offending query from the
+                                         log *)
+                                      drop_and_continue ()
+                                    end
+                                | None ->
+                                    (* check passed: drop it from the log to
+                                       keep reproduction scripts small *)
+                                    drop_and_continue ())
+                            | Ok _ -> drop_and_continue ()
+                            | Error e -> (
+                                match
+                                  dispatch
+                                    (Oracle.Statement (stmt, Oracle.Failed e))
+                                with
+                                | Some (kind, message) -> record kind message
+                                | None -> drop_and_continue ())
+                            | exception Engine.Errors.Crash msg -> (
+                                match
+                                  dispatch
+                                    (Oracle.Statement
+                                       (stmt, Oracle.Crashed msg))
+                                with
+                                | Some (kind, message) -> record kind message
+                                | None -> drop_and_continue ()))
+                    in
+                    match queries config.queries_per_pivot with
+                    | Some r -> Some r
+                    | None -> pivots (k - 1))
+            in
+            pivots config.pivots_per_db)
+  in
+  ignore (round () : Bug_report.t option);
+  !stats
 
 let run ?(stop_on_first = false) ~max_queries config =
-  let stats = empty_stats () in
   (* databases are also capped so rounds that never reach the query stage
      (e.g. generation keeps erroring) terminate *)
   let max_databases = max 50 max_queries in
-  let rec go () =
-    if stats.queries >= max_queries || stats.databases >= max_databases then
-      stats
+  let rec go acc i =
+    if
+      acc.Stats.queries >= max_queries || acc.Stats.databases >= max_databases
+    then acc
     else
-      match run_database_round config stats with
-      | Some _ when stop_on_first -> stats
-      | _ -> go ()
+      let round =
+        run_round config ~db_seed:(config.Config.seed + (i * 7919))
+      in
+      let acc = Stats.merge acc round in
+      if stop_on_first && round.Stats.reports <> [] then acc else go acc (i + 1)
   in
-  go ()
+  go Stats.empty 0
 
 let hunt config ~max_queries =
   let stats = run ~stop_on_first:true ~max_queries config in
-  match List.rev stats.reports with r :: _ -> Some r | [] -> None
+  match stats.Stats.reports with r :: _ -> Some r | [] -> None
 
 (* ------------------------------------------------------------------ *)
 (* Parallel hunting (paper Section 3.4: one worker per database)       *)
-
-let merge_stats dst src =
-  dst.databases <- dst.databases + src.databases;
-  dst.pivots <- dst.pivots + src.pivots;
-  dst.queries <- dst.queries + src.queries;
-  dst.statements <- dst.statements + src.statements;
-  dst.interp_failures <- dst.interp_failures + src.interp_failures;
-  dst.false_positives <- dst.false_positives + src.false_positives;
-  dst.reports <- src.reports @ dst.reports;
-  dst.negative_checks <- dst.negative_checks + src.negative_checks;
-  dst.truth_values <-
-    List.map
-      (fun (t, n) ->
-        let m =
-          match List.assoc_opt t src.truth_values with Some m -> m | None -> 0
-        in
-        (t, n + m))
-      dst.truth_values
 
 let run_parallel ?(stop_on_first = false) ~workers ~max_queries config =
   let workers = max 1 workers in
@@ -399,9 +426,9 @@ let run_parallel ?(stop_on_first = false) ~workers ~max_queries config =
         Domain.spawn (fun () ->
             (* each worker gets its own seed stream and databases, like the
                paper's thread-per-database parallelization *)
-            let config = { config with seed = config.seed + (i * 104729) } in
+            let config =
+              Config.with_seed (config.Config.seed + (i * 104729)) config
+            in
             run ~stop_on_first ~max_queries:per_worker config))
   in
-  let total = empty_stats () in
-  List.iter (fun d -> merge_stats total (Domain.join d)) domains;
-  total
+  Stats.merge_all (List.map Domain.join domains)

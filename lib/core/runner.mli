@@ -3,72 +3,104 @@
     Each database round: generate a random database (step 1), then for a
     number of pivot choices (step 2) synthesize rectified queries (steps
     3–5), run them on the engine (step 6) and check containment (step 7).
-    The error oracle watches every executed statement; the crash oracle
-    catches the simulated SEGFAULTs.  Workers on distinct databases are
-    just independent [run] calls with distinct seeds (paper Section 3.4's
-    thread-per-database parallelization). *)
+    Which checks count as findings is decided by the pluggable {!Oracle}
+    set in the config; the paper's error/crash/containment trio is the
+    default.  Workers on distinct databases are independent {!run_round}
+    calls with distinct seeds (paper Section 3.4's thread-per-database
+    parallelization); {!Campaign} orchestrates them across domains. *)
 
-type config = {
-  dialect : Sqlval.Dialect.t;
-  bugs : Engine.Bug.set;
-  seed : int;
-  table_count : int;
-  max_rows : int;
-  extra_statements : int;
-  pivots_per_db : int;
-  queries_per_pivot : int;
-  max_depth : int;  (** expression depth bound (paper Algorithm 1) *)
-  check_expressions : bool;  (** expressions-on-columns extension *)
-  verify_ground_truth : bool;
-      (** replay containment findings on a correct engine before reporting
-          (guards against oracle imprecision; counts as false positive) *)
-  rectify : bool;  (** disable only for the no-rectification ablation *)
-  coverage : Engine.Coverage.t option;
-      (** engine feature-coverage instrumentation (Table 4) *)
-  check_non_containment : bool;
-      (** also issue rectified-to-FALSE queries and require the pivot row to
-          be absent — the paper's Section 7 future-work variant, which
-          additionally catches defects that wrongly *include* rows *)
-}
+(** Immutable run configuration, built with labelled optional arguments:
+
+    {[
+      let config =
+        Runner.Config.make ~seed:7 ~bugs ~max_rows:10 Dialect.Sqlite_like
+    ]} *)
+module Config : sig
+  type t = private {
+    dialect : Sqlval.Dialect.t;
+    bugs : Engine.Bug.set;
+    seed : int;
+    table_count : int;
+    max_rows : int;
+    extra_statements : int;
+    pivots_per_db : int;
+    queries_per_pivot : int;
+    max_depth : int;  (** expression depth bound (paper Algorithm 1) *)
+    check_expressions : bool;  (** expressions-on-columns extension *)
+    verify_ground_truth : bool;
+        (** replay containment findings on a correct engine before
+            reporting (guards against oracle imprecision; counts as false
+            positive) *)
+    rectify : bool;  (** disable only for the no-rectification ablation *)
+    coverage : Engine.Coverage.t option;
+        (** engine feature-coverage instrumentation (Table 4) *)
+    check_non_containment : bool;
+        (** also issue rectified-to-FALSE queries and require the pivot row
+            to be absent — the paper's Section 7 future-work variant, which
+            additionally catches defects that wrongly *include* rows *)
+    oracles : Oracle.t list;  (** consulted in order; first report wins *)
+  }
+
+  val make :
+    ?bugs:Engine.Bug.set ->
+    ?seed:int ->
+    ?table_count:int ->
+    ?max_rows:int ->
+    ?extra_statements:int ->
+    ?pivots_per_db:int ->
+    ?queries_per_pivot:int ->
+    ?max_depth:int ->
+    ?check_expressions:bool ->
+    ?verify_ground_truth:bool ->
+    ?rectify:bool ->
+    ?coverage:Engine.Coverage.t ->
+    ?check_non_containment:bool ->
+    ?oracles:Oracle.t list ->
+    Sqlval.Dialect.t ->
+    t
+
+  (** Rebind the base seed (e.g. per worker). *)
+  val with_seed : int -> t -> t
+
+  (** Swap the oracle set. *)
+  val with_oracles : Oracle.t list -> t -> t
+
+  (** Attach (or detach) a coverage instrument — campaigns give each
+      worker its own and merge afterwards. *)
+  val with_coverage : Engine.Coverage.t option -> t -> t
+end
+
+type config = Config.t
 
 val default_config :
   ?seed:int -> ?bugs:Engine.Bug.set -> Sqlval.Dialect.t -> config
+[@@ocaml.deprecated "use Runner.Config.make instead"]
+(** @deprecated Shim for the pre-campaign API; use {!Config.make}. *)
 
-type stats = {
-  mutable databases : int;
-  mutable pivots : int;
-  mutable queries : int;
-  mutable statements : int;
-  mutable interp_failures : int;
-      (** expressions the oracle could not evaluate (regenerated) *)
-  mutable false_positives : int;
-      (** containment misses not confirmed by the correct engine *)
-  mutable reports : Bug_report.t list;
-  mutable truth_values : (Sqlval.Tvl.t * int) list;
-      (** distribution of raw condition truth values before rectification *)
-  mutable negative_checks : int;
-      (** how many checks were of the non-containment variant *)
-}
+type stats = Stats.t
+(** Alias kept for readability of older call sites; see {!Stats}. *)
 
-val empty_stats : unit -> stats
-
-(** Run one database round; new findings are appended to [stats.reports].
-    Returns the first finding of the round, if any. *)
-val run_database_round : config -> stats -> Bug_report.t option
+(** Run one complete database round on a fresh session seeded with
+    [db_seed]: generation, pivots and containment checks.  Returns the
+    round's statistics; the round stops at its first finding, so
+    [(run_round c ~db_seed).reports] has at most one element.  This is the
+    deterministic unit of work campaigns shard across workers: the result
+    depends only on [config] and [db_seed]. *)
+val run_round : config -> db_seed:int -> Stats.t
 
 (** Run rounds until [max_queries] containment checks were issued or a
     finding occurred [stop_on_first] (database seeds derive from
-    [config.seed]). *)
-val run :
-  ?stop_on_first:bool -> max_queries:int -> config -> stats
+    [Config.seed]). *)
+val run : ?stop_on_first:bool -> max_queries:int -> config -> Stats.t
 
 (** Convenience for the evaluation: hunt for the first finding within a
     query budget. *)
 val hunt : config -> max_queries:int -> Bug_report.t option
 
-(** Parallel variant of {!run}: [workers] domains, each hunting on its own
-    databases with an independent seed stream (the paper's
-    thread-per-database parallelization, Section 3.4).  The query budget is
-    split across workers and the stats are merged. *)
+(** Budget-splitting parallel variant of {!run}: [workers] domains, each
+    hunting on its own databases with an independent seed stream.  Results
+    are merged with {!Stats.merge} in worker order (deterministic).  For
+    seed-range sharding with per-seed accounting and traces, prefer
+    {!Campaign.run}. *)
 val run_parallel :
-  ?stop_on_first:bool -> workers:int -> max_queries:int -> config -> stats
+  ?stop_on_first:bool -> workers:int -> max_queries:int -> config -> Stats.t

@@ -1,0 +1,49 @@
+(** Immutable run statistics.
+
+    The old [Runner.stats] was a mutable record that could not be shared or
+    merged across workers.  [Stats.t] is a pure value: every runner round
+    produces one, and campaigns combine them with {!merge}, which is
+    associative with {!empty} as identity — so an N-domain campaign folded
+    in seed order reports exactly the same totals (and the same report
+    list) as a sequential run over the same seeds. *)
+
+open Sqlval
+
+type t = {
+  databases : int;
+  pivots : int;
+  queries : int;  (** containment checks issued *)
+  statements : int;
+  interp_failures : int;
+      (** expressions the oracle could not evaluate (regenerated) *)
+  false_positives : int;
+      (** containment misses not confirmed by the correct engine *)
+  reports : Bug_report.t list;  (** in chronological order *)
+  truth_values : (Tvl.t * int) list;
+      (** distribution of raw condition truth values before rectification,
+          always in canonical [TRUE; FALSE; UNKNOWN] key order *)
+  negative_checks : int;
+      (** how many checks were of the non-containment variant *)
+}
+
+val empty : t
+
+(** [merge a b] adds every counter, appends [b]'s reports after [a]'s and
+    sums the truth-value distributions.  Associative; [empty] is a left and
+    right identity (truth values are kept in canonical key order, which
+    both [empty] and {!bump_truth} maintain). *)
+val merge : t -> t -> t
+
+(** Fold {!merge} over the list, left to right, starting from {!empty}. *)
+val merge_all : t list -> t
+
+(** Append one report (chronologically last). *)
+val add_report : t -> Bug_report.t -> t
+
+(** Count one raw truth value. *)
+val bump_truth : t -> Tvl.t -> t
+
+(** One-line [key=value] summary for CLIs and traces. *)
+val summary : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -98,3 +98,9 @@ let merge_into ~dst ~src =
       | Some m -> Hashtbl.replace dst.counts p (m + n)
       | None -> Hashtbl.replace dst.counts p n)
     src.counts
+
+let union a b =
+  let t = create () in
+  merge_into ~dst:t ~src:a;
+  merge_into ~dst:t ~src:b;
+  t

@@ -24,5 +24,9 @@ val reset : t -> unit
 (** Merge the hits of [src] into [dst] (used to aggregate worker runs). *)
 val merge_into : dst:t -> src:t -> unit
 
+(** Functional variant: a fresh instrument holding the summed hits of both
+    arguments — campaign workers' private instruments fold into a total. *)
+val union : t -> t -> t
+
 (** All statically declared feature points. *)
 val static_universe : string list

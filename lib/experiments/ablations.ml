@@ -16,11 +16,8 @@ let rectification ~queries =
   List.map
     (fun rectify ->
       let config =
-        {
-          (Pqs.Runner.default_config ~seed:99 Dialect.Sqlite_like) with
-          Pqs.Runner.rectify;
-          verify_ground_truth = false;
-        }
+        Pqs.Runner.Config.make ~seed:99 ~rectify ~verify_ground_truth:false
+          Dialect.Sqlite_like
       in
       let stats = Pqs.Runner.run ~max_queries:queries config in
       (rectify, stats))
@@ -75,17 +72,17 @@ let run ?(queries = 1500) () =
   (* 1. rectification *)
   let rows =
     rectification ~queries
-    |> List.map (fun (rectify, (stats : Pqs.Runner.stats)) ->
+    |> List.map (fun (rectify, (stats : Pqs.Stats.t)) ->
            let dist =
-             stats.Pqs.Runner.truth_values
+             stats.Pqs.Stats.truth_values
              |> List.map (fun (t, n) ->
                     Printf.sprintf "%s:%d" (Tvl.show t) n)
              |> String.concat " "
            in
            [
              (if rectify then "with rectification" else "no rectification");
-             string_of_int stats.Pqs.Runner.queries;
-             string_of_int (List.length stats.Pqs.Runner.reports);
+             string_of_int stats.Pqs.Stats.queries;
+             string_of_int (List.length stats.Pqs.Stats.reports);
              dist;
            ])
   in
@@ -121,13 +118,9 @@ let run ?(queries = 1500) () =
              Engine.Bug.O_containment
            &&
            let config =
-             {
-               (Pqs.Runner.default_config ~seed:7
-                  ~bugs:(Engine.Bug.set_of_list [ bug ])
-                  info.Engine.Bug.dialect)
-               with
-               Pqs.Runner.check_expressions = extension;
-             }
+             Pqs.Runner.Config.make ~seed:7
+               ~bugs:(Engine.Bug.set_of_list [ bug ])
+               ~check_expressions:extension info.Engine.Bug.dialect
            in
            Pqs.Runner.hunt config ~max_queries:4000 <> None)
          Engine.Bug.all)

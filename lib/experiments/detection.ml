@@ -12,7 +12,7 @@ let hunt_bug ~budget ~seeds bug =
     | [] -> None
     | seed :: rest -> (
         let config =
-          Pqs.Runner.default_config ~seed
+          Pqs.Runner.Config.make ~seed
             ~bugs:(Engine.Bug.set_of_list [ bug ])
             info.Engine.Bug.dialect
         in

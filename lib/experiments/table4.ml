@@ -65,12 +65,7 @@ let count_mentions dir needle =
 
 let coverage_run dialect ~queries =
   let cov = Engine.Coverage.create () in
-  let config =
-    {
-      (Pqs.Runner.default_config ~seed:31 dialect) with
-      Pqs.Runner.coverage = Some cov;
-    }
-  in
+  let config = Pqs.Runner.Config.make ~seed:31 ~coverage:cov dialect in
   ignore (Pqs.Runner.run ~max_queries:queries config);
   cov
 

@@ -16,7 +16,7 @@ let time f =
 let per_dialect ~queries =
   List.map
     (fun d ->
-      let config = Pqs.Runner.default_config ~seed:13 d in
+      let config = Pqs.Runner.Config.make ~seed:13 d in
       let stats, elapsed =
         time (fun () -> Pqs.Runner.run ~max_queries:queries config)
       in
@@ -27,10 +27,7 @@ let rows_sweep ~queries =
   List.map
     (fun max_rows ->
       let config =
-        {
-          (Pqs.Runner.default_config ~seed:13 Dialect.Sqlite_like) with
-          Pqs.Runner.max_rows;
-        }
+        Pqs.Runner.Config.make ~seed:13 ~max_rows Dialect.Sqlite_like
       in
       let stats, elapsed =
         time (fun () -> Pqs.Runner.run ~max_queries:queries config)
@@ -41,13 +38,13 @@ let rows_sweep ~queries =
 let run ?(queries = 2000) () =
   let rows =
     per_dialect ~queries
-    |> List.map (fun (d, (stats : Pqs.Runner.stats), elapsed) ->
+    |> List.map (fun (d, (stats : Pqs.Stats.t), elapsed) ->
            [
              Dialect.display_name d;
-             string_of_int stats.Pqs.Runner.statements;
+             string_of_int stats.Pqs.Stats.statements;
              Printf.sprintf "%.2f" elapsed;
              Printf.sprintf "%.0f"
-               (float_of_int stats.Pqs.Runner.statements /. elapsed);
+               (float_of_int stats.Pqs.Stats.statements /. elapsed);
            ])
   in
   Fmt_table.print
@@ -58,12 +55,12 @@ let run ?(queries = 2000) () =
     rows;
   let rows =
     rows_sweep ~queries:(queries / 2)
-    |> List.map (fun (max_rows, (stats : Pqs.Runner.stats), elapsed) ->
+    |> List.map (fun (max_rows, (stats : Pqs.Stats.t), elapsed) ->
            [
              string_of_int max_rows;
              Printf.sprintf "%.2f" elapsed;
              Printf.sprintf "%.0f"
-               (float_of_int stats.Pqs.Runner.statements /. elapsed);
+               (float_of_int stats.Pqs.Stats.statements /. elapsed);
            ])
   in
   Fmt_table.print

@@ -1,0 +1,183 @@
+(* The campaign orchestrator's contracts: sharded runs merge to the exact
+   sequential result, Stats.merge obeys its monoid laws, and the runner
+   accepts swapped-in oracle sets. *)
+
+open Sqlval
+
+(* ---------- determinism: N domains == 1 domain ---------- *)
+
+let report_key (r : Pqs.Bug_report.t) =
+  ( (r.Pqs.Bug_report.seed, Pqs.Bug_report.oracle_label r.Pqs.Bug_report.oracle),
+    (r.Pqs.Bug_report.message, Pqs.Bug_report.script r) )
+
+let strip_reports (s : Pqs.Stats.t) = { s with Pqs.Stats.reports = [] }
+
+let test_determinism () =
+  let bugs = Engine.Bug.set_of_list (Engine.Bug.for_dialect Dialect.Sqlite_like) in
+  let config = Pqs.Runner.Config.make ~bugs Dialect.Sqlite_like in
+  let seq = Pqs.Campaign.run ~domains:1 ~seed_lo:1 ~seed_hi:25 config in
+  let par = Pqs.Campaign.run ~domains:4 ~seed_lo:1 ~seed_hi:25 config in
+  Alcotest.(check int)
+    "same database count" 25 (par.Pqs.Campaign.stats.Pqs.Stats.databases + 1);
+  Alcotest.(check bool) "campaign found bugs to compare" true
+    (Pqs.Campaign.reports seq <> []);
+  Alcotest.(check (list (pair (pair int string) (pair string string))))
+    "identical sorted bug-report sets"
+    (List.map report_key (Pqs.Campaign.reports seq))
+    (List.map report_key (Pqs.Campaign.reports par));
+  (* the merged stats agree on every counter, not just the reports *)
+  Alcotest.(check bool) "identical merged stats" true
+    (strip_reports seq.Pqs.Campaign.stats
+    = strip_reports par.Pqs.Campaign.stats);
+  (* and outcomes come back in ascending seed order regardless of worker *)
+  let seeds = List.map (fun o -> o.Pqs.Campaign.seed) par.Pqs.Campaign.outcomes in
+  Alcotest.(check (list int)) "outcomes sorted by seed"
+    (List.init 24 (fun i -> i + 1))
+    seeds
+
+let test_coverage_merging () =
+  let cov = Engine.Coverage.create () in
+  let config = Pqs.Runner.Config.make ~coverage:cov Dialect.Sqlite_like in
+  let _ = Pqs.Campaign.run ~domains:3 ~seed_lo:1 ~seed_hi:7 config in
+  Alcotest.(check bool) "worker coverage merged into the campaign instrument"
+    true
+    (Engine.Coverage.points_hit cov > 0);
+  (* the functional union of two instruments sums their hits *)
+  let a = Engine.Coverage.create () and b = Engine.Coverage.create () in
+  Engine.Coverage.hit a "binop.eq";
+  Engine.Coverage.hit b "binop.eq";
+  Engine.Coverage.hit b "binop.neq";
+  let u = Engine.Coverage.union a b in
+  Alcotest.(check int) "union sums hits" 2 (Engine.Coverage.hit_count u "binop.eq");
+  Alcotest.(check int) "union keeps both" 1 (Engine.Coverage.hit_count u "binop.neq")
+
+let test_trace () =
+  let path = Filename.temp_file "pqs_campaign" ".jsonl" in
+  let config = Pqs.Runner.Config.make Dialect.Sqlite_like in
+  let c = Pqs.Campaign.run ~domains:2 ~trace:path ~seed_lo:5 ~seed_hi:11 config in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one line per seed plus a summary" 7 (List.length lines);
+  Alcotest.(check bool) "seed lines are tagged" true
+    (List.for_all
+       (fun l -> String.length l > 0 && l.[0] = '{')
+       lines);
+  Alcotest.(check bool) "last line is the campaign summary" true
+    (String.length (List.nth lines 6) > 20
+    && String.sub (List.nth lines 6) 0 18 = "{\"type\":\"campaign\"");
+  ignore c
+
+(* ---------- Stats.merge monoid laws ---------- *)
+
+let sample_stats seed =
+  (* real stats from real rounds, so the laws are checked on reachable
+     values (canonical truth-value keys, chronological reports) *)
+  let bugs = Engine.Bug.set_of_list [ Engine.Bug.Sq_case_null_when ] in
+  let config = Pqs.Runner.Config.make ~bugs Dialect.Sqlite_like in
+  Pqs.Runner.run_round config ~db_seed:seed
+
+let test_merge_laws () =
+  let a = sample_stats 3 and b = sample_stats 17 and c = sample_stats 7919 in
+  Alcotest.(check bool) "associative" true
+    (Pqs.Stats.merge (Pqs.Stats.merge a b) c
+    = Pqs.Stats.merge a (Pqs.Stats.merge b c));
+  Alcotest.(check bool) "left identity" true
+    (Pqs.Stats.merge Pqs.Stats.empty a = a);
+  Alcotest.(check bool) "right identity" true
+    (Pqs.Stats.merge a Pqs.Stats.empty = a);
+  (* merge_all is the left fold *)
+  Alcotest.(check bool) "merge_all folds left" true
+    (Pqs.Stats.merge_all [ a; b; c ]
+    = Pqs.Stats.merge (Pqs.Stats.merge a b) c)
+
+let test_merge_counters () =
+  let a = sample_stats 3 and b = sample_stats 17 in
+  let m = Pqs.Stats.merge a b in
+  Alcotest.(check int) "statements add" m.Pqs.Stats.statements
+    (a.Pqs.Stats.statements + b.Pqs.Stats.statements);
+  Alcotest.(check int) "reports concatenate"
+    (List.length m.Pqs.Stats.reports)
+    (List.length a.Pqs.Stats.reports + List.length b.Pqs.Stats.reports);
+  let total tv = List.fold_left (fun acc (_, n) -> acc + n) 0 tv in
+  Alcotest.(check int) "truth values add"
+    (total m.Pqs.Stats.truth_values)
+    (total a.Pqs.Stats.truth_values + total b.Pqs.Stats.truth_values)
+
+(* ---------- oracle swapping ---------- *)
+
+(* a stub that cries wolf on every containment check, whatever the engine
+   returned *)
+let wolf_oracle =
+  Pqs.Oracle.make ~name:"wolf" (fun _ -> function
+    | Pqs.Oracle.Containment_check _ ->
+        Pqs.Oracle.Report
+          { kind = Pqs.Bug_report.Error_oracle; message = "wolf!" }
+    | _ -> Pqs.Oracle.Pass)
+
+let test_oracle_swap () =
+  (* with the stub swapped in, even a correct engine "fails" on the first
+     containment check of every round *)
+  let config =
+    Pqs.Runner.Config.make ~oracles:[ wolf_oracle ] Dialect.Sqlite_like
+  in
+  let stats = Pqs.Runner.run ~max_queries:20 config in
+  Alcotest.(check bool) "stub oracle reports" true
+    (stats.Pqs.Stats.reports <> []);
+  Alcotest.(check bool) "stub reports carry its message" true
+    (List.for_all
+       (fun (r : Pqs.Bug_report.t) -> r.Pqs.Bug_report.message = "wolf!")
+       stats.Pqs.Stats.reports);
+  (* with no oracles at all, nothing can be reported even with every
+     catalog bug enabled *)
+  let bugs = Engine.Bug.set_of_list (Engine.Bug.for_dialect Dialect.Sqlite_like) in
+  let deaf =
+    Pqs.Runner.Config.make ~bugs ~oracles:[] Dialect.Sqlite_like
+  in
+  let stats = Pqs.Runner.run ~max_queries:60 deaf in
+  Alcotest.(check int) "no oracles, no reports" 0
+    (List.length stats.Pqs.Stats.reports)
+
+let test_default_oracles_preserved () =
+  (* the pluggable default set still hunts like the hard-wired loop did *)
+  let bugs = Engine.Bug.set_of_list [ Engine.Bug.Sq_case_null_when ] in
+  let rec go = function
+    | [] -> Alcotest.fail "bug not detected through the oracle API"
+    | seed :: rest -> (
+        let config = Pqs.Runner.Config.make ~seed ~bugs Dialect.Sqlite_like in
+        match Pqs.Runner.hunt config ~max_queries:8000 with
+        | Some r ->
+            Alcotest.(check string) "containment oracle" "Contains"
+              (Pqs.Bug_report.oracle_label r.Pqs.Bug_report.oracle)
+        | None -> go rest)
+  in
+  go [ 7; 77; 777 ]
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "N-domain == sequential" `Quick test_determinism;
+          Alcotest.test_case "coverage merging" `Quick test_coverage_merging;
+          Alcotest.test_case "jsonl trace" `Quick test_trace;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "merge monoid laws" `Quick test_merge_laws;
+          Alcotest.test_case "merge counters" `Quick test_merge_counters;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "stub oracle swap" `Quick test_oracle_swap;
+          Alcotest.test_case "defaults still detect" `Quick
+            test_default_oracles_preserved;
+        ] );
+    ]

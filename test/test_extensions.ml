@@ -242,37 +242,33 @@ let test_difftest_common_core_only () =
 
 let test_negative_checks_sound () =
   let config =
-    {
-      (Pqs.Runner.default_config ~seed:555 Dialect.Sqlite_like) with
-      Pqs.Runner.verify_ground_truth = false;
-    }
+    Pqs.Runner.Config.make ~seed:555 ~verify_ground_truth:false
+      Dialect.Sqlite_like
   in
   let stats = Pqs.Runner.run ~max_queries:400 config in
-  Alcotest.(check int) "no false alarms" 0 (List.length stats.Pqs.Runner.reports);
+  Alcotest.(check int) "no false alarms" 0 (List.length stats.Pqs.Stats.reports);
   Alcotest.(check bool) "negative checks issued" true
-    (stats.Pqs.Runner.negative_checks > 0)
+    (stats.Pqs.Stats.negative_checks > 0)
 
 let test_parallel_runner () =
   let config =
-    {
-      (Pqs.Runner.default_config ~seed:313 Dialect.Sqlite_like) with
-      Pqs.Runner.verify_ground_truth = false;
-    }
+    Pqs.Runner.Config.make ~seed:313 ~verify_ground_truth:false
+      Dialect.Sqlite_like
   in
   let stats = Pqs.Runner.run_parallel ~workers:2 ~max_queries:200 config in
   Alcotest.(check int) "no findings on correct engine" 0
-    (List.length stats.Pqs.Runner.reports);
+    (List.length stats.Pqs.Stats.reports);
   Alcotest.(check bool) "both workers contributed" true
-    (stats.Pqs.Runner.queries >= 200);
+    (stats.Pqs.Stats.queries >= 200);
   (* detection also works through the parallel path *)
   let bugs = Engine.Bug.set_of_list [ Engine.Bug.Sq_case_null_when ] in
-  let config = Pqs.Runner.default_config ~seed:7 ~bugs Dialect.Sqlite_like in
+  let config = Pqs.Runner.Config.make ~seed:7 ~bugs Dialect.Sqlite_like in
   let stats =
     Pqs.Runner.run_parallel ~stop_on_first:true ~workers:2 ~max_queries:8000
       config
   in
   Alcotest.(check bool) "bug found in parallel" true
-    (stats.Pqs.Runner.reports <> [])
+    (stats.Pqs.Stats.reports <> [])
 
 let () =
   Alcotest.run "extensions"

@@ -200,13 +200,13 @@ let prop_runner_deterministic =
     ~count:10 QCheck.small_nat (fun seed ->
       let go () =
         let config =
-          Pqs.Runner.default_config ~seed:(seed + 1) Dialect.Sqlite_like
+          Pqs.Runner.Config.make ~seed:(seed + 1) Dialect.Sqlite_like
         in
         let stats = Pqs.Runner.run ~max_queries:60 config in
-        ( stats.Pqs.Runner.queries,
-          stats.Pqs.Runner.statements,
-          stats.Pqs.Runner.pivots,
-          List.length stats.Pqs.Runner.reports )
+        ( stats.Pqs.Stats.queries,
+          stats.Pqs.Stats.statements,
+          stats.Pqs.Stats.pivots,
+          List.length stats.Pqs.Stats.reports )
       in
       go () = go ())
 
