@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke fmt bench clean
+.PHONY: all build test smoke lint fmt bench clean
 
 all: build
 
@@ -14,6 +14,14 @@ test:
 # if any oracle reports (i.e. on a false positive).  Finishes well under 30s.
 smoke:
 	$(DUNE) exec bin/sqlancer.exe -- campaign --databases 16 -j 2 --trace /tmp/pqs_smoke.jsonl
+
+# Static-analyzer self-check: run the typed-AST checker and plan linter
+# over a fixed generated seed corpus in every dialect.  The generators are
+# well-typed by construction, so any diagnostic fails the target.
+lint:
+	$(DUNE) exec bin/sqlancer.exe -- lint -d sqlite -s 1 --databases 100
+	$(DUNE) exec bin/sqlancer.exe -- lint -d mysql -s 1 --databases 100
+	$(DUNE) exec bin/sqlancer.exe -- lint -d postgres -s 1 --databases 100
 
 # Formatting check.  The development container ships no ocamlformat binary,
 # so the check is skipped (with a notice) when it is unavailable.

@@ -114,12 +114,22 @@ let hunt_cmd =
 
 (* ---- run ---- *)
 
-let run dialect seed queries all_bugs =
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"add the static-analysis self-check oracle (see Analysis)")
+
+let run dialect seed queries all_bugs with_lint =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
-  let config = Pqs.Runner.Config.make ~seed ~bugs dialect in
+  let oracles =
+    if with_lint then Pqs.Oracle.defaults @ [ Pqs.Lint.oracle ]
+    else Pqs.Oracle.defaults
+  in
+  let config = Pqs.Runner.Config.make ~seed ~bugs ~oracles dialect in
   let stats = Pqs.Runner.run ~max_queries:queries config in
   print_endline (Pqs.Stats.summary stats);
   List.iter (print_report ~reduce:true ~bugs) stats.Pqs.Stats.reports;
@@ -134,19 +144,21 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"run the PQS loop and report findings")
-    Term.(const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs)
+    Term.(
+      const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs $ lint_arg)
 
 (* ---- campaign ---- *)
 
 let campaign_run dialect seed databases domains trace all_bugs with_metamorphic
-    =
+    with_lint =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
   let oracles =
-    if with_metamorphic then Pqs.Oracle.defaults @ [ Pqs.Oracle.metamorphic () ]
-    else Pqs.Oracle.defaults
+    Pqs.Oracle.defaults
+    @ (if with_metamorphic then [ Pqs.Oracle.metamorphic () ] else [])
+    @ if with_lint then [ Pqs.Lint.oracle ] else []
   in
   let config = Pqs.Runner.Config.make ~bugs ~oracles dialect in
   let c =
@@ -163,9 +175,11 @@ let campaign_run dialect seed databases domains trace all_bugs with_metamorphic
   List.iter (print_report ~reduce:true ~bugs) (Pqs.Campaign.reports c);
   if Pqs.Campaign.reports c = [] then 0 else 1
 
-let campaign dialect seed databases domains trace all_bugs with_metamorphic =
+let campaign dialect seed databases domains trace all_bugs with_metamorphic
+    with_lint =
   try
     campaign_run dialect seed databases domains trace all_bugs with_metamorphic
+      with_lint
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -209,7 +223,43 @@ let campaign_cmd =
           merge the results deterministically")
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
-      $ all_bugs $ with_metamorphic)
+      $ all_bugs $ with_metamorphic $ lint_arg)
+
+(* ---- lint ---- *)
+
+let lint dialect seed databases queries_per_seed =
+  let r =
+    Pqs.Lint.sweep ~queries_per_seed ~seed_lo:seed
+      ~seed_hi:(seed + databases - 1) dialect
+  in
+  Printf.printf "seeds=%d queries=%d plans=%d diagnostics=%d\n"
+    r.Pqs.Lint.sw_seeds r.Pqs.Lint.sw_queries r.Pqs.Lint.sw_plans
+    (List.length r.Pqs.Lint.sw_diags);
+  List.iter
+    (fun (seed, d) ->
+      Printf.printf "seed %d: %s\n" seed (Analysis.Diagnostic.to_string d))
+    r.Pqs.Lint.sw_diags;
+  if r.Pqs.Lint.sw_diags = [] then 0 else 1
+
+let lint_cmd =
+  let databases =
+    Arg.(
+      value & opt int 100
+      & info [ "databases" ] ~docv:"N"
+          ~doc:"seed range size: one database per seed")
+  in
+  let queries_per_seed =
+    Arg.(
+      value & opt int 3
+      & info [ "queries-per-seed" ] ~docv:"N"
+          ~doc:"containment queries analyzed per seed")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "run the static analyzer over a generated seed corpus; any \
+          diagnostic is an analyzer or generator defect")
+    Term.(const lint $ dialect_arg $ seed_arg $ databases $ queries_per_seed)
 
 (* ---- metamorphic ---- *)
 
@@ -259,4 +309,11 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_bugs_cmd; hunt_cmd; run_cmd; campaign_cmd; metamorphic_cmd ]))
+          [
+            list_bugs_cmd;
+            hunt_cmd;
+            run_cmd;
+            campaign_cmd;
+            metamorphic_cmd;
+            lint_cmd;
+          ]))

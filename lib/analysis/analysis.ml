@@ -1,0 +1,27 @@
+(* Static SQL analysis: the library facade.
+
+   Three passes over the shared IRs, all abstract interpretations of the
+   reference semantics:
+
+   - Typecheck: storage-class + collation inference per AST node, with
+     structured diagnostics for trees the evaluator must reject;
+   - Nullability: a not-null / maybe-null / definitely-null lattice
+     computed alongside the classes;
+   - Plan_lint: consistency checks over Engine.Planner access paths.
+
+   The passes are pure and engine-independent: PQS wires them into the
+   oracle pipeline (lib/core/lint.ml) and the sqlancer CLI exposes them
+   via --lint and the lint subcommand. *)
+
+module Diagnostic = Diagnostic
+module Nullability = Nullability
+module Typecheck = Typecheck
+module Plan_lint = Plan_lint
+
+type env = Typecheck.env
+
+let env = Typecheck.env
+let check_expr = Typecheck.check_expr
+let check_query = Typecheck.check_query
+let check_stmt = Typecheck.check_stmt
+let lint_plan = Plan_lint.lint

@@ -1,0 +1,39 @@
+(** Static SQL analysis over the shared IRs.
+
+    Three passes, all abstract interpretations of the reference
+    semantics: a typed-AST checker ({!Typecheck}), a 3VL nullability
+    analysis ({!Nullability}), and a plan linter ({!Plan_lint}).
+    Diagnostics ({!Diagnostic}) carry a severity, a stable code, and a
+    dotted location path.  The passes are pure and engine-independent;
+    PQS wires them into the oracle pipeline as the [lint] self-check
+    oracle. *)
+
+module Diagnostic = Diagnostic
+module Nullability = Nullability
+module Typecheck = Typecheck
+module Plan_lint = Plan_lint
+
+type env = Typecheck.env
+
+val env : Sqlval.Dialect.t -> Typecheck.table list -> env
+
+val check_expr : env -> Sqlast.Ast.expr -> Typecheck.ty * Diagnostic.t list
+(** Type/nullability-check an expression with every environment table in
+    scope (the shape of a WHERE clause over the pivot tables). *)
+
+val check_query :
+  env -> Sqlast.Ast.query -> (string * Typecheck.ty) list * Diagnostic.t list
+(** Check a full query; returns the typed output row plus diagnostics. *)
+
+val check_stmt : env -> Sqlast.Ast.stmt -> Diagnostic.t list
+(** Check the query inside [Select_stmt] / [Explain]; other statements
+    yield no diagnostics. *)
+
+val lint_plan :
+  Engine.Eval.env ->
+  Storage.Catalog.t ->
+  Storage.Schema.table ->
+  where:Sqlast.Ast.expr option ->
+  Engine.Planner.path ->
+  Diagnostic.t list
+(** Lint the access path chosen for a single-table scan. *)

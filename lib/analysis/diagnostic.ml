@@ -1,0 +1,64 @@
+(* Structured diagnostics emitted by the static passes.
+
+   Every finding carries a severity, a stable machine-readable code, and a
+   dotted location path into the checked tree (for example
+   "query.where.lhs.arg1").  The rendering is deliberately stable — the
+   golden tests in test/test_analysis.ml pin it down — so campaign logs can
+   be diffed across runs. *)
+
+type severity = Error | Warning [@@deriving show { with_path = false }, eq]
+
+type code =
+  | Unknown_table
+  | Unknown_column
+  | Ambiguous_column
+  | Wrong_arity
+  | Unavailable_function
+  | Dialect_mismatch
+  | Type_mismatch
+  | Boolean_context
+  | Column_count_mismatch
+  | Empty_select
+  | Misplaced_aggregate
+  | Nested_aggregate
+  | Null_predicate
+  | Plan_key_class
+  | Plan_collation
+  | Plan_null_key
+  | Plan_unjustified
+  | Plan_partial
+  | Plan_nullability
+[@@deriving show { with_path = false }, eq]
+
+type t = { severity : severity; code : code; loc : string; message : string }
+[@@deriving show { with_path = false }, eq]
+
+let code_slug = function
+  | Unknown_table -> "unknown-table"
+  | Unknown_column -> "unknown-column"
+  | Ambiguous_column -> "ambiguous-column"
+  | Wrong_arity -> "wrong-arity"
+  | Unavailable_function -> "unavailable-function"
+  | Dialect_mismatch -> "dialect-mismatch"
+  | Type_mismatch -> "type-mismatch"
+  | Boolean_context -> "boolean-context"
+  | Column_count_mismatch -> "column-count-mismatch"
+  | Empty_select -> "empty-select"
+  | Misplaced_aggregate -> "misplaced-aggregate"
+  | Nested_aggregate -> "nested-aggregate"
+  | Null_predicate -> "null-predicate"
+  | Plan_key_class -> "plan-key-class"
+  | Plan_collation -> "plan-collation"
+  | Plan_null_key -> "plan-null-key"
+  | Plan_unjustified -> "plan-unjustified"
+  | Plan_partial -> "plan-partial"
+  | Plan_nullability -> "plan-nullability"
+
+let error ~code ~loc message = { severity = Error; code; loc; message }
+let warning ~code ~loc message = { severity = Warning; code; loc; message }
+let is_error d = d.severity = Error
+
+let to_string d =
+  Printf.sprintf "%s[%s] at %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (code_slug d.code) d.loc d.message

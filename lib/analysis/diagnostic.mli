@@ -1,0 +1,50 @@
+(** Structured diagnostics for the static analysis passes.
+
+    A diagnostic pairs a severity with a stable machine-readable code, a
+    dotted location path into the checked tree (e.g. "query.where.lhs"),
+    and a human-readable message.  [to_string] renders the stable
+    one-line form ["error[unknown-column] at query.where.lhs: ..."]. *)
+
+type severity = Error | Warning
+
+type code =
+  | Unknown_table  (** FROM references a table or view not in scope *)
+  | Unknown_column  (** column reference resolves to nothing *)
+  | Ambiguous_column  (** unqualified reference matches several columns *)
+  | Wrong_arity  (** function or aggregate applied to wrong argument count *)
+  | Unavailable_function  (** function does not exist in this dialect *)
+  | Dialect_mismatch  (** syntax form foreign to this dialect (GLOB, ...) *)
+  | Type_mismatch  (** operand classes can never combine in this dialect *)
+  | Boolean_context  (** non-boolean expression where pg requires boolean *)
+  | Column_count_mismatch  (** VALUES rows / compound arms disagree on arity *)
+  | Empty_select  (** empty select list, VALUES with no rows, bare [*] *)
+  | Misplaced_aggregate  (** aggregate in WHERE / GROUP BY / join ON *)
+  | Nested_aggregate  (** aggregate inside another aggregate's argument *)
+  | Null_predicate  (** WHERE clause statically always NULL (warning) *)
+  | Plan_key_class  (** index probe key class incompatible with column *)
+  | Plan_collation  (** probe collation differs from the index collation *)
+  | Plan_null_key  (** NULL probe key can never match *)
+  | Plan_unjustified  (** no WHERE conjunct justifies the access path *)
+  | Plan_partial  (** partial-index scan not implied by the WHERE clause *)
+  | Plan_nullability
+      (** pushed-down predicate does not reject NULL keys, so skipping
+          NULL index entries would be unsound *)
+
+type t = { severity : severity; code : code; loc : string; message : string }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val equal_severity : severity -> severity -> bool
+val equal_code : code -> code -> bool
+
+val code_slug : code -> string
+(** Stable kebab-case rendering of a code. *)
+
+val error : code:code -> loc:string -> string -> t
+val warning : code:code -> loc:string -> string -> t
+val is_error : t -> bool
+
+val to_string : t -> string
+(** ["error[unknown-column] at query.where.lhs: ..."] — pinned by golden
+    tests; treat as a stable format. *)

@@ -1,0 +1,57 @@
+(* Three-valued nullability lattice.
+
+   The abstract domain mirrors SQL's three-valued logic at the value level:
+   an expression either provably never evaluates to NULL ([Not_null]),
+   provably always evaluates to NULL ([Definitely_null]), or we cannot tell
+   ([Maybe_null]).  [Maybe_null] is the top of the lattice; the two definite
+   facts are incomparable bottom elements:
+
+        Maybe_null
+         /      \
+     Not_null  Definitely_null
+
+   Soundness contract (checked against the reference interpreter in the
+   test suite): if the analysis says [Not_null], the concrete evaluation is
+   non-NULL; if it says [Definitely_null], the concrete evaluation is NULL
+   (or an error).  [Maybe_null] promises nothing. *)
+
+open Sqlval
+
+type t = Not_null | Maybe_null | Definitely_null
+[@@deriving show { with_path = false }, eq]
+
+(* Least upper bound: two branches that agree keep the definite fact; any
+   disagreement loses it. *)
+let join a b = if equal a b then a else Maybe_null
+
+let joins = function [] -> Maybe_null | x :: rest -> List.fold_left join x rest
+
+(* Abstraction of a concrete value, used to seed pivot-row environments. *)
+let of_value = function Value.Null -> Definitely_null | _ -> Not_null
+
+(* NULL-strict operator: NULL in, NULL out (comparisons, arithmetic, most
+   scalar functions).  Definite facts survive only when every operand is
+   definite. *)
+let strict args =
+  if List.exists (equal Definitely_null) args then Definitely_null
+  else if List.for_all (equal Not_null) args then Not_null
+  else Maybe_null
+
+(* COALESCE-shaped operator: the first non-NULL operand wins, so one
+   definitely non-NULL argument forces a non-NULL result. *)
+let coalesce args =
+  if List.exists (equal Not_null) args then Not_null
+  else if List.for_all (equal Definitely_null) args then Definitely_null
+  else Maybe_null
+
+(* Does the abstract fact subsume the concrete outcome? *)
+let consistent_with_value t (v : Value.t) =
+  match (t, v) with
+  | Maybe_null, _ -> true
+  | Not_null, v -> v <> Value.Null
+  | Definitely_null, v -> v = Value.Null
+
+let to_string = function
+  | Not_null -> "not-null"
+  | Maybe_null -> "maybe-null"
+  | Definitely_null -> "definitely-null"

@@ -1,0 +1,35 @@
+(** Three-valued nullability lattice used by the abstract interpretation.
+
+    [Maybe_null] is the top element; [Not_null] and [Definitely_null] are
+    incomparable definite facts.  The analysis is sound with respect to the
+    reference interpreter: [Not_null] implies the concrete value is
+    non-NULL and [Definitely_null] implies it is NULL. *)
+
+type t = Not_null | Maybe_null | Definitely_null
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Least upper bound: definite facts survive only agreement. *)
+
+val joins : t list -> t
+(** [join] over a list; the empty list yields [Maybe_null]. *)
+
+val of_value : Sqlval.Value.t -> t
+(** Abstraction of a concrete value ([Null] maps to [Definitely_null]). *)
+
+val strict : t list -> t
+(** NULL-strict combination: any definite NULL operand forces
+    [Definitely_null]; all-[Not_null] operands force [Not_null]. *)
+
+val coalesce : t list -> t
+(** COALESCE-shaped combination: any [Not_null] operand forces [Not_null];
+    all-[Definitely_null] operands force [Definitely_null]. *)
+
+val consistent_with_value : t -> Sqlval.Value.t -> bool
+(** Does the abstract fact subsume this concrete evaluation result? *)
+
+val to_string : t -> string
+(** Lower-case rendering used in diagnostics ("not-null", ...). *)

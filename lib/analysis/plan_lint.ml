@@ -1,0 +1,427 @@
+(* Plan linter: consistency checks over Engine.Planner access paths.
+
+   The linter re-derives, independently of the planner, which WHERE
+   conjunct justifies each access path and verifies three properties:
+
+   - key shape: probe keys are non-NULL and their storage class is
+     compatible with the indexed column (a NULL or cross-class key can
+     never match stored keys under the dialect's comparison order);
+   - collation: the comparison collation of the justifying conjunct
+     equals the index key collation (a NOCASE probe of a BINARY index
+     would skip matching rows);
+   - nullability shape: index scans skip NULL keys, so the pushed-down
+     conjunct must be NULL-rejecting — re-typechecking it under an
+     environment where the probed column is Definitely_null must yield a
+     Definitely_null (i.e. UNKNOWN, filtered) predicate.
+
+   The checks deliberately re-implement only the *sound* planner rules:
+   paths produced by an injected planner bug (the DESC-index strict-bound
+   range, the IS-NOT partial-index inference) fail them, which is what
+   makes the linter a self-check oracle. *)
+
+open Sqlval
+module A = Sqlast.Ast
+module P = Engine.Planner
+
+let lc = String.lowercase_ascii
+
+let index_collation (ix : Storage.Index.t) =
+  match ix.Storage.Index.collations with
+  | [||] -> Collation.Binary
+  | cs -> cs.(0)
+
+let leading_column (ix : Storage.Index.t) =
+  match ix.Storage.Index.definition with
+  | { A.ic_expr = A.Col { column; _ }; _ } :: _ -> Some column
+  | _ -> None
+
+let is_column_ref column = function
+  | A.Col { column = c; _ } -> lc c = lc column
+  | _ -> false
+
+(* Constant-fold with the engine's own semantics so linter constants agree
+   with planner constants. *)
+let const_value (env : Engine.Eval.env) e =
+  if A.expr_columns e = [] then
+    match
+      Engine.Eval.eval
+        {
+          env with
+          Engine.Eval.resolve =
+            (Engine.Eval.const_env env.Engine.Eval.dialect).Engine.Eval.resolve;
+        }
+        e
+    with
+    | Ok v -> Some v
+    | Error _ -> None
+  else None
+
+(* Canonical stored-key form of a probe constant (sqlite column affinity). *)
+let probe_value (env : Engine.Eval.env) (table : Storage.Schema.table) column v
+    =
+  match Storage.Schema.find_column table column with
+  | Some (_, col) when Dialect.equal env.Engine.Eval.dialect Dialect.Sqlite_like
+    ->
+      Coerce.apply_affinity (Datatype.affinity col.Storage.Schema.ty) v
+  | _ -> v
+
+(* Probe key class vs. indexed column class, via the Typecheck lattice.
+   sqlite probes go through affinity conversion, so anything goes there. *)
+let key_class_ok (env : Engine.Eval.env) (table : Storage.Schema.table) column
+    v =
+  let dialect = env.Engine.Eval.dialect in
+  Dialect.equal dialect Dialect.Sqlite_like
+  ||
+  match Storage.Schema.find_column table column with
+  | None -> false
+  | Some (_, col) ->
+      Typecheck.compatible_class
+        (Typecheck.class_of_value v)
+        (Typecheck.class_of_column dialect col.Storage.Schema.ty)
+
+(* Is the conjunct NULL-rejecting for [column]?  Re-typecheck it in an
+   environment where the probed column is Definitely_null: if the result
+   is Definitely_null (UNKNOWN, hence filtered), rows with a NULL key can
+   never satisfy the conjunct and skipping NULL index entries is sound. *)
+let null_rejecting (env : Engine.Eval.env) (table : Storage.Schema.table)
+    column conj =
+  let t = Typecheck.table_of_schema table in
+  let t =
+    {
+      t with
+      Typecheck.tab_columns =
+        List.map
+          (fun (c : Typecheck.column) ->
+            if lc c.Typecheck.col_name = lc column then
+              { c with Typecheck.col_nullability = Nullability.Definitely_null }
+            else c)
+          t.Typecheck.tab_columns;
+    }
+  in
+  let tenv = Typecheck.env env.Engine.Eval.dialect [ t ] in
+  let ty, _ = Typecheck.check_expr tenv conj in
+  Nullability.equal ty.Typecheck.ty_nullability Nullability.Definitely_null
+
+let sprintf = Printf.sprintf
+
+type state = { mutable diags : Diagnostic.t list }
+
+let err st code msg =
+  st.diags <- Diagnostic.error ~code ~loc:"plan" msg :: st.diags
+
+(* Sound partial-index implication: a conjunct syntactically equal to the
+   predicate, or predicate [c IS NOT NULL] with an equality conjunct
+   [c = lit] (lit non-NULL).  The planner's buggy IS-NOT rule is
+   intentionally absent. *)
+let sound_implies env cs predicate =
+  List.exists (A.equal_expr predicate) cs
+  ||
+  match predicate with
+  | A.Is { negated = true; arg = A.Col { column; _ }; rhs = A.Is_null }
+  | A.Unary
+      ( A.Not,
+        A.Is { negated = false; arg = A.Col { column; _ }; rhs = A.Is_null } )
+    ->
+      List.exists
+        (fun conj ->
+          match conj with
+          | A.Binary (A.Eq, a, b) ->
+              let ok side other =
+                is_column_ref column side
+                &&
+                match const_value env other with
+                | Some v -> not (Value.is_null v)
+                | None -> false
+              in
+              ok a b || ok b a
+          | _ -> false)
+        cs
+  | _ -> false
+
+let check_index st (table : Storage.Schema.table) (ix : Storage.Index.t) =
+  if lc ix.Storage.Index.on_table <> lc table.Storage.Schema.table_name then begin
+    err st Diagnostic.Plan_unjustified
+      (sprintf "index %s is on table %s, not %s" ix.Storage.Index.index_name
+         ix.Storage.Index.on_table table.Storage.Schema.table_name);
+    false
+  end
+  else true
+
+let check_partial_usable st env cs (ix : Storage.Index.t) =
+  match ix.Storage.Index.where with
+  | None -> ()
+  | Some pred ->
+      if not (sound_implies env cs pred) then
+        err st Diagnostic.Plan_partial
+          (sprintf
+             "the WHERE clause does not imply the predicate of partial \
+              index %s"
+             ix.Storage.Index.index_name)
+
+(* Equality conjuncts on [col] whose other side constant-folds. *)
+let eq_conjuncts env cs col =
+  List.filter_map
+    (fun conj ->
+      match conj with
+      | A.Binary (A.Eq, a, b) when is_column_ref col a ->
+          Option.map (fun v -> (conj, b, v)) (const_value env b)
+      | A.Binary (A.Eq, a, b) when is_column_ref col b ->
+          Option.map (fun v -> (conj, a, v)) (const_value env a)
+      | _ -> None)
+    cs
+
+(* Inequality conjuncts on [col], normalized to [col OP const]. *)
+let range_conjuncts env cs col =
+  let flip = function
+    | A.Lt -> A.Gt
+    | A.Le -> A.Ge
+    | A.Gt -> A.Lt
+    | A.Ge -> A.Le
+    | op -> op
+  in
+  List.filter_map
+    (fun conj ->
+      match conj with
+      | A.Binary (((A.Lt | A.Le | A.Gt | A.Ge) as op), a, b)
+        when is_column_ref col a ->
+          Option.map (fun v -> (conj, op, b, v)) (const_value env b)
+      | A.Binary (((A.Lt | A.Le | A.Gt | A.Ge) as op), a, b)
+        when is_column_ref col b ->
+          Option.map (fun v -> (conj, flip op, a, v)) (const_value env a)
+      | _ -> None)
+    cs
+
+let check_null_rejecting st env table col conj =
+  if not (null_rejecting env table col conj) then
+    err st Diagnostic.Plan_nullability
+      (sprintf
+         "pushed-down conjunct on column %s does not reject NULL, but the \
+          index scan skips NULL keys"
+         col)
+
+(* Match a probe key against candidate justifying conjuncts: first by
+   converted value, then by comparison collation. *)
+let justify st env table ix col ~what key candidates =
+  let value_matches =
+    List.filter
+      (fun (_, _other, v) -> Value.equal (probe_value env table col v) key)
+      candidates
+  in
+  match candidates with
+  | [] ->
+      err st Diagnostic.Plan_unjustified
+        (sprintf "no WHERE conjunct on column %s justifies the %s" col what)
+  | _ -> (
+      match value_matches with
+      | [] ->
+          err st Diagnostic.Plan_unjustified
+            (sprintf "the %s key %s matches no WHERE conjunct on column %s"
+               what (Value.show key) col)
+      | _ -> (
+          let coll_matches =
+            List.filter
+              (fun (_, other, _) ->
+                Collation.equal
+                  (Engine.Eval.comparison_collation env (A.col col) other)
+                  (index_collation ix))
+              value_matches
+          in
+          match coll_matches with
+          | [] ->
+              err st Diagnostic.Plan_collation
+                (sprintf
+                   "the %s comparison collation differs from index %s's key \
+                    collation %s"
+                   what ix.Storage.Index.index_name
+                   (Collation.show (index_collation ix)))
+          | (conj, _, _) :: _ -> check_null_rejecting st env table col conj))
+
+let check_key st env table col ~what (v : Value.t) =
+  if Value.is_null v then
+    err st Diagnostic.Plan_null_key
+      (sprintf "NULL %s key on column %s can never match" what col)
+  else if not (key_class_ok env table col v) then
+    err st Diagnostic.Plan_key_class
+      (sprintf "%s key %s has a class incompatible with column %s" what
+         (Value.show v) col)
+
+let rec lint_path st (env : Engine.Eval.env) (catalog : Storage.Catalog.t)
+    (table : Storage.Schema.table) cs (path : P.path) =
+  let single_column_probe ix ~what k =
+    if check_index st table ix then begin
+      check_partial_usable st env cs ix;
+      if List.length ix.Storage.Index.definition <> 1 then
+        err st Diagnostic.Plan_unjustified
+          (sprintf "%s over multi-column index %s" what
+             ix.Storage.Index.index_name)
+      else
+        match leading_column ix with
+        | None ->
+            err st Diagnostic.Plan_unjustified
+              (sprintf "%s over expression index %s" what
+                 ix.Storage.Index.index_name)
+        | Some col -> k col
+    end
+  in
+  match path with
+  | P.Full_scan -> ()
+  | P.Index_eq { index = ix; key } ->
+      single_column_probe ix ~what:"equality probe" (fun col ->
+          if Array.length key <> 1 then
+            err st Diagnostic.Plan_unjustified
+              (sprintf "equality probe with %d key fields on a 1-column \
+                        index"
+                 (Array.length key))
+          else begin
+            let v = key.(0) in
+            check_key st env table col ~what:"probe" v;
+            if not (Value.is_null v) then
+              justify st env table ix col ~what:"equality probe" v
+                (eq_conjuncts env cs col)
+          end)
+  | P.Index_range { index = ix; lo; hi } ->
+      single_column_probe ix ~what:"range scan" (fun col ->
+          if lo = None && hi = None then
+            err st Diagnostic.Plan_unjustified
+              "range scan with neither bound set";
+          let ranges = range_conjuncts env cs col in
+          let side ~what ~ops bound =
+            match bound with
+            | None -> ()
+            | Some ((v : Value.t), inclusive) ->
+                check_key st env table col ~what v;
+                if not (Value.is_null v) then
+                  let candidates =
+                    List.filter_map
+                      (fun (conj, op, other, cv) ->
+                        let matches_op =
+                          List.exists
+                            (fun (o, incl) -> op = o && incl = inclusive)
+                            ops
+                        in
+                        if matches_op then Some (conj, other, cv) else None)
+                      ranges
+                  in
+                  justify st env table ix col ~what v candidates
+          in
+          (* a lower bound comes from col > / >= const, an upper bound from
+             col < / <= const *)
+          side ~what:"lower bound"
+            ~ops:[ (A.Gt, false); (A.Ge, true) ]
+            lo;
+          side ~what:"upper bound"
+            ~ops:[ (A.Lt, false); (A.Le, true) ]
+            hi)
+  | P.Index_like_prefix { index = ix; prefix } ->
+      single_column_probe ix ~what:"LIKE prefix scan" (fun col ->
+          check_key st env table col ~what:"prefix" (Value.Text prefix);
+          let case_sensitive =
+            match env.Engine.Eval.dialect with
+            | Dialect.Postgres_like -> true
+            | Dialect.Mysql_like -> false
+            | Dialect.Sqlite_like -> env.Engine.Eval.case_sensitive_like
+          in
+          let wanted =
+            if case_sensitive then Collation.Binary else Collation.Nocase
+          in
+          if not (Collation.equal (index_collation ix) wanted) then
+            err st Diagnostic.Plan_collation
+              (sprintf
+                 "LIKE prefix scan over index %s with key collation %s \
+                  (needs %s)"
+                 ix.Storage.Index.index_name
+                 (Collation.show (index_collation ix))
+                 (Collation.show wanted));
+          let justifier =
+            List.find_opt
+              (fun conj ->
+                match conj with
+                | A.Like
+                    {
+                      negated = false;
+                      arg;
+                      pattern = A.Lit (Value.Text pat);
+                      escape = None;
+                    } ->
+                    is_column_ref col arg
+                    && Like_matcher.literal_prefix pat = prefix
+                    && String.length prefix > 0
+                | _ -> false)
+              cs
+          in
+          match justifier with
+          | None ->
+              err st Diagnostic.Plan_unjustified
+                (sprintf
+                   "no LIKE conjunct on column %s has literal prefix %S" col
+                   prefix)
+          | Some conj -> check_null_rejecting st env table col conj)
+  | P.Partial_index_scan { index = ix } ->
+      if check_index st table ix then begin
+        (match ix.Storage.Index.where with
+        | None ->
+            err st Diagnostic.Plan_partial
+              (sprintf "partial-index scan over total index %s"
+                 ix.Storage.Index.index_name)
+        | Some _ -> ());
+        check_partial_usable st env cs ix
+      end
+  | P.Skip_scan { index = ix } ->
+      if check_index st table ix then begin
+        check_partial_usable st env cs ix;
+        if not catalog.Storage.Catalog.analyzed then
+          err st Diagnostic.Plan_unjustified
+            "skip-scan chosen without ANALYZE statistics";
+        if List.length ix.Storage.Index.definition < 2 then
+          err st Diagnostic.Plan_unjustified
+            (sprintf "skip-scan over single-column index %s"
+               ix.Storage.Index.index_name);
+        let later_cols =
+          List.filteri (fun i _ -> i > 0) ix.Storage.Index.definition
+          |> List.filter_map (fun (ic : A.indexed_column) ->
+                 match ic.A.ic_expr with
+                 | A.Col { column; _ } -> Some column
+                 | _ -> None)
+        in
+        let constrained =
+          List.exists
+            (fun conj ->
+              match conj with
+              | A.Binary (A.Eq, a, b) ->
+                  List.exists
+                    (fun c -> is_column_ref c a || is_column_ref c b)
+                    later_cols
+              | _ -> false)
+            cs
+        in
+        if not constrained then
+          err st Diagnostic.Plan_unjustified
+            (sprintf
+               "skip-scan over %s with no equality on a later index column"
+               ix.Storage.Index.index_name)
+      end
+  | P.Or_union ps -> (
+      let arms =
+        List.find_map
+          (function A.Binary (A.Or, a, b) -> Some [ a; b ] | _ -> None)
+          cs
+      in
+      match arms with
+      | None ->
+          err st Diagnostic.Plan_unjustified
+            "OR-union path with no OR conjunct in the WHERE clause"
+      | Some arms ->
+          if List.length ps <> List.length arms then
+            err st Diagnostic.Plan_unjustified
+              (sprintf "OR-union has %d branches for %d OR arms"
+                 (List.length ps) (List.length arms))
+          else
+            List.iter2
+              (fun p arm -> lint_path st env catalog table [ arm ] p)
+              ps arms)
+
+let lint env catalog table ~where path =
+  let st = { diags = [] } in
+  let cs = match where with None -> [] | Some w -> P.conjuncts w in
+  lint_path st env catalog table cs path;
+  List.rev st.diags

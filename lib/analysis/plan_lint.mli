@@ -1,0 +1,22 @@
+(** Plan linter over {!Engine.Planner} access paths.
+
+    Independently re-derives which WHERE conjunct justifies each access
+    path and checks that probe keys are non-NULL and class-compatible
+    with the indexed column, that the justifying conjunct's comparison
+    collation equals the index key collation, that partial-index scans
+    are implied by the WHERE clause under the *sound* implication rules
+    only, and that every pushed-down conjunct is NULL-rejecting for the
+    probed column (index scans skip NULL keys).  Paths produced by an
+    injected planner bug violate one of these properties, which makes the
+    linter usable as a self-check oracle. *)
+
+val lint :
+  Engine.Eval.env ->
+  Storage.Catalog.t ->
+  Storage.Schema.table ->
+  where:Sqlast.Ast.expr option ->
+  Engine.Planner.path ->
+  Diagnostic.t list
+(** [lint env catalog table ~where path] checks the access path the
+    planner chose for a single-table scan of [table] filtered by [where].
+    All diagnostics carry location ["plan"]. *)

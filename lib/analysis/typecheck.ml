@@ -1,0 +1,921 @@
+(* Typed-AST checker and 3VL nullability analysis over Sqlast.Ast.
+
+   The checker is an abstract interpretation of the reference semantics in
+   lib/core/interp.ml and lib/engine/eval.ml.  Each expression node gets a
+   storage-class abstraction [cls], a collation, and a Nullability.t; each
+   query gets a typed output row.  Diagnostics are reported only for trees
+   the concrete evaluator is guaranteed to reject or that can never behave
+   as intended (unknown names, wrong arities, dialect-foreign syntax,
+   postgres strict-typing violations on *definite* classes) — dynamically
+   typed corners (sqlite columns, NULL literals) abstract to [K_any], which
+   every check accepts.  That keeps the analysis sound for the generators:
+   a well-typed-by-construction Gen_query tree produces zero diagnostics
+   (property-tested over a seed sweep in test/test_analysis.ml). *)
+
+open Sqlval
+module A = Sqlast.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Storage-class lattice                                              *)
+
+type cls = K_any | K_num | K_int | K_real | K_text | K_blob | K_bool
+[@@deriving show { with_path = false }, eq]
+
+let class_name = function
+  | K_any -> "any"
+  | K_num -> "numeric"
+  | K_int -> "integer"
+  | K_real -> "real"
+  | K_text -> "text"
+  | K_blob -> "blob"
+  | K_bool -> "boolean"
+
+let numeric_class = function K_num | K_int | K_real -> true | _ -> false
+
+let join_class a b =
+  if equal_cls a b then a
+  else if numeric_class a && numeric_class b then K_num
+  else K_any
+
+(* Can values of these classes meet in a comparison without a strict-typing
+   error?  [K_any] is compatible with everything (it may dynamically hold a
+   matching value), as are the members of the numeric family. *)
+let compatible_class a b =
+  match (a, b) with
+  | K_any, _ | _, K_any -> true
+  | _ -> equal_cls a b || (numeric_class a && numeric_class b)
+
+let class_of_value = function
+  | Value.Null -> K_any
+  | Value.Int _ -> K_int
+  | Value.Real _ -> K_real
+  | Value.Text _ -> K_text
+  | Value.Blob _ -> K_blob
+  | Value.Bool _ -> K_bool
+
+(* What a stored column value can be, given the declared type.  sqlite
+   declarations are mere affinities — any value can land in any column —
+   so every sqlite column abstracts to [K_any].  mysql converts on store
+   (Coerce.mysql_store) and postgres rejects mismatches (Coerce.pg_store),
+   so there the declaration is trustworthy.  mysql's BOOL is TINYINT:
+   stored booleans are integers. *)
+let class_of_column dialect (dt : Datatype.t) =
+  match (dialect : Dialect.t) with
+  | Dialect.Sqlite_like -> K_any
+  | Dialect.Mysql_like | Dialect.Postgres_like -> (
+      match dt with
+      | Datatype.Any -> K_any
+      | Datatype.Int _ | Datatype.Serial -> K_int
+      | Datatype.Real -> K_real
+      | Datatype.Text -> K_text
+      | Datatype.Blob -> K_blob
+      | Datatype.Bool ->
+          if Dialect.equal dialect Dialect.Mysql_like then K_int else K_bool)
+
+(* Result class of CAST(e AS dt), mirroring Coerce.{sqlite,mysql,pg}_cast.
+   mysql CAST(x AS UNSIGNED) of a negative value yields a Real (the
+   engine's dialect quirk), so it only narrows to the numeric family. *)
+let class_of_cast dialect (dt : Datatype.t) ~operand =
+  match dt with
+  | Datatype.Any -> (
+      match (dialect : Dialect.t) with
+      | Dialect.Sqlite_like -> K_any (* numeric affinity may convert *)
+      | _ -> operand)
+  | Datatype.Int { unsigned = true; _ }
+    when Dialect.equal dialect Dialect.Mysql_like ->
+      K_num
+  | Datatype.Int _ | Datatype.Serial -> K_int
+  | Datatype.Real -> K_real
+  | Datatype.Text -> K_text
+  | Datatype.Blob -> K_blob
+  | Datatype.Bool ->
+      if Dialect.equal dialect Dialect.Postgres_like then K_bool else K_int
+
+(* ------------------------------------------------------------------ *)
+(* Environments and scopes                                            *)
+
+type ty = {
+  ty_class : cls;
+  ty_collation : Collation.t;
+  ty_nullability : Nullability.t;
+}
+[@@deriving show { with_path = false }, eq]
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+  col_collation : Collation.t;
+  col_nullability : Nullability.t;
+}
+
+type table = { tab_name : string; tab_columns : column list }
+type env = { env_dialect : Dialect.t; env_tables : table list }
+
+let env env_dialect env_tables = { env_dialect; env_tables }
+
+let table_of_schema (t : Storage.Schema.table) : table =
+  {
+    tab_name = t.Storage.Schema.table_name;
+    tab_columns =
+      Array.to_list t.Storage.Schema.columns
+      |> List.map (fun (c : Storage.Schema.column) ->
+             {
+               col_name = c.Storage.Schema.name;
+               col_type = c.Storage.Schema.ty;
+               col_collation = c.Storage.Schema.collation;
+               col_nullability =
+                 (if c.Storage.Schema.not_null then Nullability.Not_null
+                  else Nullability.Maybe_null);
+             });
+  }
+
+(* A scope entry: one visible column with its FROM label (alias or table
+   name).  Derived tables contribute synthesized entries. *)
+type scope_col = { sc_label : string; sc_name : string; sc_ty : ty }
+type scope = scope_col list
+
+let mk_ty ?(coll = Collation.Binary) cls null =
+  { ty_class = cls; ty_collation = coll; ty_nullability = null }
+
+let unknown_ty = mk_ty K_any Nullability.Maybe_null
+
+let ty_of_column dialect (c : column) =
+  mk_ty ~coll:c.col_collation
+    (class_of_column dialect c.col_type)
+    c.col_nullability
+
+let scope_of_table dialect ~label (t : table) : scope =
+  List.map
+    (fun c ->
+      { sc_label = label; sc_name = c.col_name; sc_ty = ty_of_column dialect c })
+    t.tab_columns
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics plumbing                                               *)
+
+type state = { mutable diags : Diagnostic.t list }
+
+let report st d = st.diags <- d :: st.diags
+let err st code loc msg = report st (Diagnostic.error ~code ~loc msg)
+let is_pg e = Dialect.equal e.env_dialect Dialect.Postgres_like
+let is_mysql e = Dialect.equal e.env_dialect Dialect.Mysql_like
+let is_sqlite e = Dialect.equal e.env_dialect Dialect.Sqlite_like
+let lc = String.lowercase_ascii
+
+let qual_name table column =
+  match table with Some t -> t ^ "." ^ column | None -> column
+
+(* ------------------------------------------------------------------ *)
+(* Column resolution                                                  *)
+
+let resolve scope st ~loc ~table ~column =
+  let hits =
+    List.filter
+      (fun sc ->
+        lc sc.sc_name = lc column
+        &&
+        match table with None -> true | Some t -> lc sc.sc_label = lc t)
+      scope
+  in
+  match hits with
+  | [ sc ] -> sc.sc_ty
+  | [] ->
+      err st Diagnostic.Unknown_column loc
+        (Printf.sprintf "unknown column %s" (qual_name table column));
+      unknown_ty
+  | _ :: _ :: _ ->
+      err st Diagnostic.Ambiguous_column loc
+        (Printf.sprintf "ambiguous column name %s" (qual_name table column));
+      unknown_ty
+
+(* ------------------------------------------------------------------ *)
+(* Dialect helper checks                                              *)
+
+(* postgres rejects non-boolean expressions in boolean contexts (WHERE,
+   AND/OR/NOT operands, CASE conditions...).  [K_any] may dynamically be a
+   boolean, so only definite non-boolean classes are flagged. *)
+let bool_context env st ~loc (t : ty) =
+  if is_pg env then
+    match t.ty_class with
+    | K_bool | K_any -> ()
+    | c ->
+        err st Diagnostic.Boolean_context loc
+          (Printf.sprintf
+             "argument of a boolean context must be boolean, not %s"
+             (class_name c))
+
+let bool_ty env null =
+  mk_ty (if is_pg env then K_bool else K_int) null
+
+(* postgres comparisons require comparable operand classes. *)
+let check_comparable env st ~loc a b =
+  if is_pg env && not (compatible_class a.ty_class b.ty_class) then
+    err st Diagnostic.Type_mismatch loc
+      (Printf.sprintf "cannot compare %s with %s in the postgres dialect"
+         (class_name a.ty_class) (class_name b.ty_class))
+
+(* postgres CAST combinations that always error, whatever the value
+   (Coerce.pg_cast).  Casting *to* text accepts anything; [K_any] or
+   [K_num] operands may dynamically hold an accepted class. *)
+let check_pg_cast st ~loc (dt : Datatype.t) (t : ty) =
+  let bad =
+    match (dt, t.ty_class) with
+    | (Datatype.Int _ | Datatype.Serial), K_blob -> true
+    | Datatype.Real, (K_bool | K_blob) -> true
+    | Datatype.Bool, (K_real | K_blob) -> true
+    | Datatype.Blob, (K_int | K_real | K_bool) -> true
+    | _ -> false
+  in
+  if bad then
+    err st Diagnostic.Type_mismatch loc
+      (Printf.sprintf "cannot cast %s to %s in the postgres dialect"
+         (class_name t.ty_class) (Datatype.to_sql dt))
+
+(* postgres arithmetic/bit operands must be (possibly) numeric. *)
+let check_pg_numeric env st ~loc what (t : ty) =
+  if is_pg env then
+    match t.ty_class with
+    | K_text | K_blob | K_bool ->
+        err st Diagnostic.Type_mismatch loc
+          (Printf.sprintf "%s operand cannot be %s in the postgres dialect"
+             what (class_name t.ty_class))
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Scalar functions                                                   *)
+
+let func_name = function
+  | A.F_abs -> "abs"
+  | A.F_length -> "length"
+  | A.F_lower -> "lower"
+  | A.F_upper -> "upper"
+  | A.F_coalesce -> "coalesce"
+  | A.F_ifnull -> "ifnull"
+  | A.F_nullif -> "nullif"
+  | A.F_typeof -> "typeof"
+  | A.F_trim -> "trim"
+  | A.F_ltrim -> "ltrim"
+  | A.F_rtrim -> "rtrim"
+  | A.F_substr -> "substr"
+  | A.F_replace -> "replace"
+  | A.F_instr -> "instr"
+  | A.F_hex -> "hex"
+  | A.F_round -> "round"
+  | A.F_sign -> "sign"
+  | A.F_least -> "least"
+  | A.F_greatest -> "greatest"
+  | A.F_quote -> "quote"
+
+(* Which dialect implements which function (mirrors Interp/Eval's
+   per-dialect function tables). *)
+let func_available (d : Dialect.t) = function
+  | A.F_typeof | A.F_quote -> Dialect.equal d Dialect.Sqlite_like
+  | A.F_ifnull | A.F_instr -> not (Dialect.equal d Dialect.Postgres_like)
+  | A.F_least | A.F_greatest -> not (Dialect.equal d Dialect.Sqlite_like)
+  | _ -> true
+
+(* Accepted argument counts (inclusive range; max = -1 means unbounded). *)
+let func_arity = function
+  | A.F_abs | A.F_length | A.F_lower | A.F_upper | A.F_typeof | A.F_trim
+  | A.F_ltrim | A.F_rtrim | A.F_hex | A.F_sign | A.F_quote ->
+      (1, 1)
+  | A.F_ifnull | A.F_nullif | A.F_instr -> (2, 2)
+  | A.F_replace -> (3, 3)
+  | A.F_substr -> (2, 3)
+  | A.F_round -> (1, 2)
+  | A.F_coalesce | A.F_least | A.F_greatest -> (1, -1)
+
+(* ------------------------------------------------------------------ *)
+(* Expression inference                                               *)
+
+type agg_ctx = Agg_ok | Agg_forbidden | Agg_inside
+
+let nth tys i =
+  match List.nth_opt tys i with Some t -> t | None -> unknown_ty
+
+let rec infer env scope st ~agg ~loc (e : A.expr) : ty =
+  match e with
+  | A.Lit v ->
+      mk_ty (class_of_value v) (Nullability.of_value v)
+  | A.Col { table; column } -> resolve scope st ~loc ~table ~column
+  | A.Collate (e1, c) ->
+      let t = infer env scope st ~agg ~loc:(loc ^ ".arg") e1 in
+      { t with ty_collation = c }
+  | A.Unary (op, e1) -> infer_unary env scope st ~agg ~loc op e1
+  | A.Binary (op, a, b) -> infer_binary env scope st ~agg ~loc op a b
+  | A.Is { arg; rhs; negated = _ } -> infer_is env scope st ~agg ~loc arg rhs
+  | A.Between { arg; lo; hi; negated = _ } ->
+      let ta = infer env scope st ~agg ~loc:(loc ^ ".arg") arg in
+      let tl = infer env scope st ~agg ~loc:(loc ^ ".lo") lo in
+      let th = infer env scope st ~agg ~loc:(loc ^ ".hi") hi in
+      check_comparable env st ~loc ta tl;
+      check_comparable env st ~loc ta th;
+      let open Nullability in
+      let n =
+        let na = ta.ty_nullability
+        and nl = tl.ty_nullability
+        and nh = th.ty_nullability in
+        if
+          equal na Definitely_null
+          || (equal nl Definitely_null && equal nh Definitely_null)
+        then Definitely_null
+        else if List.for_all (equal Not_null) [ na; nl; nh ] then Not_null
+        else Maybe_null
+      in
+      bool_ty env n
+  | A.In_list { arg; list; negated = _ } ->
+      let ta = infer env scope st ~agg ~loc:(loc ^ ".arg") arg in
+      let tis =
+        List.mapi
+          (fun i e ->
+            let t =
+              infer env scope st ~agg
+                ~loc:(Printf.sprintf "%s.item%d" loc (i + 1))
+                e
+            in
+            check_comparable env st ~loc ta t;
+            t)
+          list
+      in
+      let open Nullability in
+      let n =
+        if equal ta.ty_nullability Definitely_null then Definitely_null
+        else if
+          equal ta.ty_nullability Not_null
+          && List.for_all (fun t -> equal t.ty_nullability Not_null) tis
+        then Not_null
+        else Maybe_null
+      in
+      bool_ty env n
+  | A.Like { arg; pattern; escape; negated = _ } ->
+      let ta = infer env scope st ~agg ~loc:(loc ^ ".arg") arg in
+      let tp = infer env scope st ~agg ~loc:(loc ^ ".pattern") pattern in
+      (match escape with
+      | None -> ()
+      | Some esc -> ignore (infer env scope st ~agg ~loc:(loc ^ ".escape") esc));
+      if is_pg env then begin
+        let check what (t : ty) =
+          match t.ty_class with
+          | K_int | K_real | K_num | K_bool | K_blob ->
+              err st Diagnostic.Type_mismatch loc
+                (Printf.sprintf
+                   "LIKE %s cannot be %s in the postgres dialect" what
+                   (class_name t.ty_class))
+          | K_any | K_text -> ()
+        in
+        check "argument" ta;
+        check "pattern" tp
+      end;
+      bool_ty env (like_nullability ta tp)
+  | A.Glob { arg; pattern; negated = _ } ->
+      let ta = infer env scope st ~agg ~loc:(loc ^ ".arg") arg in
+      let tp = infer env scope st ~agg ~loc:(loc ^ ".pattern") pattern in
+      if not (is_sqlite env) then
+        err st Diagnostic.Dialect_mismatch loc
+          (Printf.sprintf "GLOB is sqlite-specific, not available in %s"
+             (Dialect.name env.env_dialect));
+      bool_ty env (like_nullability ta tp)
+  | A.Cast (dt, e1) ->
+      let t = infer env scope st ~agg ~loc:(loc ^ ".arg") e1 in
+      if is_pg env then check_pg_cast st ~loc dt t;
+      mk_ty (class_of_cast env.env_dialect dt ~operand:t.ty_class)
+        t.ty_nullability
+  | A.Func (f, args) -> infer_func env scope st ~agg ~loc f args
+  | A.Agg (af, arg) -> infer_agg env scope st ~agg ~loc af arg
+  | A.Case { operand; branches; else_ } ->
+      infer_case env scope st ~agg ~loc operand branches else_
+
+(* LIKE/GLOB share a nullability shape: NULL argument or NULL pattern
+   yields NULL (a NULL escape behaves as "no escape", so it is ignored). *)
+and like_nullability ta tp =
+  let open Nullability in
+  if
+    equal ta.ty_nullability Definitely_null
+    || equal tp.ty_nullability Definitely_null
+  then Definitely_null
+  else if equal ta.ty_nullability Not_null && equal tp.ty_nullability Not_null
+  then Not_null
+  else Maybe_null
+
+and infer_unary env scope st ~agg ~loc op e1 =
+  let t = infer env scope st ~agg ~loc:(loc ^ ".arg") e1 in
+  match op with
+  | A.Not ->
+      bool_context env st ~loc t;
+      bool_ty env t.ty_nullability
+  | A.Pos -> t (* engine's unary + is the identity *)
+  | A.Neg ->
+      check_pg_numeric env st ~loc "unary minus" t;
+      let cls =
+        if is_pg env then
+          match t.ty_class with
+          | K_int -> K_int
+          | K_real -> K_real
+          | _ -> K_num
+        else K_num (* sqlite/mysql promote MIN_INT negation to real *)
+      in
+      mk_ty cls t.ty_nullability
+  | A.Bit_not ->
+      check_pg_bitop env st ~loc t;
+      mk_ty K_int t.ty_nullability
+
+and check_pg_bitop env st ~loc (t : ty) =
+  if is_pg env then
+    match t.ty_class with
+    | K_real | K_text | K_blob | K_bool ->
+        err st Diagnostic.Type_mismatch loc
+          (Printf.sprintf
+             "bit operation operand cannot be %s in the postgres dialect"
+             (class_name t.ty_class))
+    | K_any | K_num | K_int -> ()
+
+and infer_binary env scope st ~agg ~loc op a b =
+  let ta = infer env scope st ~agg ~loc:(loc ^ ".lhs") a in
+  let tb = infer env scope st ~agg ~loc:(loc ^ ".rhs") b in
+  let open Nullability in
+  let na = ta.ty_nullability and nb = tb.ty_nullability in
+  match op with
+  | A.Eq | A.Neq | A.Lt | A.Le | A.Gt | A.Ge ->
+      check_comparable env st ~loc ta tb;
+      bool_ty env (strict [ na; nb ])
+  | A.Null_safe_eq ->
+      check_comparable env st ~loc ta tb;
+      (* IS / <=> treats NULLs as comparable: never NULL itself *)
+      bool_ty env Not_null
+  | A.And | A.Or ->
+      bool_context env st ~loc:(loc ^ ".lhs") ta;
+      bool_context env st ~loc:(loc ^ ".rhs") tb;
+      (* 3VL AND/OR can absorb a NULL (FALSE AND NULL = FALSE), so only
+         agreement on a definite fact survives. *)
+      bool_ty env (join na nb)
+  | A.Concat when is_mysql env ->
+      (* mysql's || is logical OR *)
+      bool_context env st ~loc:(loc ^ ".lhs") ta;
+      bool_context env st ~loc:(loc ^ ".rhs") tb;
+      bool_ty env (join na nb)
+  | A.Concat -> mk_ty K_text (strict [ na; nb ])
+  | A.Add | A.Sub | A.Mul | A.Div | A.Rem ->
+      check_pg_numeric env st ~loc:(loc ^ ".lhs") "arithmetic" ta;
+      check_pg_numeric env st ~loc:(loc ^ ".rhs") "arithmetic" tb;
+      let cls = arith_class env op ta.ty_class tb.ty_class in
+      let n =
+        match op with
+        | A.Div | A.Rem when not (is_pg env) ->
+            (* x / 0 and x % 0 are NULL in sqlite and mysql *)
+            if equal na Definitely_null || equal nb Definitely_null then
+              Definitely_null
+            else Maybe_null
+        | _ -> strict [ na; nb ]
+      in
+      mk_ty cls n
+  | A.Bit_and | A.Bit_or | A.Shift_left | A.Shift_right ->
+      check_pg_bitop env st ~loc:(loc ^ ".lhs") ta;
+      check_pg_bitop env st ~loc:(loc ^ ".rhs") tb;
+      mk_ty K_int (strict [ na; nb ])
+
+(* Result class of +,-,*,/,% — non-numeric operands coerce to the numeric
+   family at runtime (outside postgres), so the abstraction widens them to
+   K_num rather than erroring. *)
+and arith_class env op ca cb =
+  let eff c = if numeric_class c then c else K_num in
+  let ca = eff ca and cb = eff cb in
+  if equal_cls ca K_int && equal_cls cb K_int then
+    match (op, env.env_dialect) with
+    | _, Dialect.Sqlite_like -> K_num (* Int64 overflow promotes to real *)
+    | A.Div, Dialect.Mysql_like -> K_real (* mysql / is true division *)
+    | _ -> K_int
+  else if
+    Dialect.equal env.env_dialect Dialect.Mysql_like
+    && (match op with A.Div -> true | _ -> false)
+  then K_real
+  else if
+    (equal_cls ca K_real && numeric_class cb)
+    || (equal_cls cb K_real && numeric_class ca)
+  then K_real
+  else K_num
+
+and infer_is env scope st ~agg ~loc arg rhs =
+  let ta = infer env scope st ~agg ~loc:(loc ^ ".arg") arg in
+  (match rhs with
+  | A.Is_null -> ()
+  | A.Is_true | A.Is_false ->
+      if is_pg env then
+        (match ta.ty_class with
+        | K_bool | K_any -> ()
+        | c ->
+            err st Diagnostic.Boolean_context loc
+              (Printf.sprintf
+                 "argument of IS TRUE / IS FALSE must be boolean, not %s"
+                 (class_name c)))
+  | A.Is_expr other ->
+      if not (is_sqlite env) then
+        err st Diagnostic.Dialect_mismatch loc
+          (Printf.sprintf
+             "IS over arbitrary scalars is sqlite-specific, not available \
+              in %s"
+             (Dialect.name env.env_dialect));
+      ignore (infer env scope st ~agg ~loc:(loc ^ ".rhs") other)
+  | A.Is_distinct_from other ->
+      if not (is_pg env) then
+        err st Diagnostic.Dialect_mismatch loc
+          (Printf.sprintf
+             "IS DISTINCT FROM is postgres-specific, not available in %s"
+             (Dialect.name env.env_dialect));
+      let tb = infer env scope st ~agg ~loc:(loc ^ ".rhs") other in
+      check_comparable env st ~loc ta tb);
+  (* IS-style predicates accept NULL operands and never yield NULL *)
+  bool_ty env Nullability.Not_null
+
+and infer_func env scope st ~agg ~loc f args =
+  let tys =
+    List.mapi
+      (fun i e ->
+        infer env scope st ~agg ~loc:(Printf.sprintf "%s.arg%d" loc (i + 1)) e)
+      args
+  in
+  let n = List.length args in
+  if not (func_available env.env_dialect f) then
+    err st Diagnostic.Unavailable_function loc
+      (Printf.sprintf "%s is not available in the %s dialect" (func_name f)
+         (Dialect.name env.env_dialect));
+  (let lo, hi = func_arity f in
+   if n < lo || (hi >= 0 && n > hi) then
+     err st Diagnostic.Wrong_arity loc
+       (Printf.sprintf "%s expects %s, got %d" (func_name f)
+          (if hi < 0 then Printf.sprintf "at least %d argument%s" lo
+               (if lo = 1 then "" else "s")
+           else if lo = hi then
+             Printf.sprintf "%d argument%s" lo (if lo = 1 then "" else "s")
+           else Printf.sprintf "%d to %d arguments" lo hi)
+          n));
+  if is_pg env then check_pg_func_classes st ~loc f tys;
+  let open Nullability in
+  let nulls = List.map (fun t -> t.ty_nullability) tys in
+  let arg0 = nth tys 0 in
+  match f with
+  | A.F_abs ->
+      let cls =
+        match arg0.ty_class with
+        | K_int -> K_int
+        | K_real -> K_real
+        | _ -> K_num
+      in
+      mk_ty cls (strict nulls)
+  | A.F_length | A.F_instr -> mk_ty K_int (strict nulls)
+  | A.F_sign -> mk_ty K_int (strict nulls)
+  | A.F_round -> mk_ty K_real (strict nulls)
+  | A.F_lower | A.F_upper | A.F_trim | A.F_ltrim | A.F_rtrim | A.F_substr
+  | A.F_replace | A.F_hex ->
+      mk_ty K_text (strict nulls)
+  | A.F_typeof | A.F_quote -> mk_ty K_text Not_null
+  | A.F_coalesce | A.F_ifnull ->
+      let cls =
+        List.fold_left (fun acc t -> join_class acc t.ty_class)
+          (nth tys 0).ty_class
+          (if tys = [] then [] else List.tl tys)
+      in
+      mk_ty cls (coalesce nulls)
+  | A.F_nullif ->
+      let na = arg0.ty_nullability in
+      mk_ty arg0.ty_class
+        (if equal na Definitely_null then Definitely_null else Maybe_null)
+  | A.F_least | A.F_greatest ->
+      let cls =
+        List.fold_left (fun acc t -> join_class acc t.ty_class)
+          (nth tys 0).ty_class (if tys = [] then [] else List.tl tys)
+      in
+      (* mysql's LEAST/GREATEST are NULL-strict; postgres' skip NULLs *)
+      mk_ty cls (if is_mysql env then strict nulls else coalesce nulls)
+
+(* postgres rejects definitely-wrong argument classes for some scalar
+   functions (the generator only feeds them matching classes). *)
+and check_pg_func_classes st ~loc f tys =
+  let flag i what ok =
+    match List.nth_opt tys i with
+    | None -> ()
+    | Some t ->
+        if not (ok t.ty_class) then
+          err st Diagnostic.Type_mismatch loc
+            (Printf.sprintf "%s argument %d cannot be %s (%s expected)"
+               (func_name f) (i + 1)
+               (class_name t.ty_class)
+               what)
+  in
+  let numericish = function
+    | K_any | K_num | K_int | K_real -> true
+    | _ -> false
+  in
+  let textish = function K_any | K_text -> true | _ -> false in
+  match f with
+  | A.F_abs | A.F_round -> flag 0 "numeric" numericish
+  | A.F_length ->
+      flag 0 "text or blob" (function
+        | K_any | K_text | K_blob -> true
+        | _ -> false)
+  | A.F_lower | A.F_upper | A.F_trim | A.F_ltrim | A.F_rtrim ->
+      flag 0 "text" textish
+  | _ -> ()
+
+and infer_agg env scope st ~agg ~loc af arg =
+  (match agg with
+  | Agg_ok -> ()
+  | Agg_inside ->
+      err st Diagnostic.Nested_aggregate loc
+        "aggregate function calls cannot be nested"
+  | Agg_forbidden ->
+      err st Diagnostic.Misplaced_aggregate loc
+        "aggregate function in a context that forbids aggregates");
+  let targ =
+    match arg with
+    | None ->
+        (match af with
+        | A.A_count_star -> ()
+        | _ ->
+            err st Diagnostic.Wrong_arity loc
+              "aggregate function requires an argument");
+        None
+    | Some e -> Some (infer env scope st ~agg:Agg_inside ~loc:(loc ^ ".arg") e)
+  in
+  let open Nullability in
+  match af with
+  | A.A_count_star | A.A_count -> mk_ty K_int Not_null
+  | A.A_sum -> mk_ty K_num Maybe_null
+  | A.A_avg -> mk_ty K_real Maybe_null
+  | A.A_total -> mk_ty K_real Not_null
+  | A.A_min | A.A_max ->
+      let cls = match targ with Some t -> t.ty_class | None -> K_any in
+      mk_ty cls Maybe_null
+
+and infer_case env scope st ~agg ~loc operand branches else_ =
+  let top =
+    Option.map (fun o -> infer env scope st ~agg ~loc:(loc ^ ".operand") o)
+      operand
+  in
+  let results =
+    List.mapi
+      (fun i (cond, result) ->
+        let tc =
+          infer env scope st ~agg
+            ~loc:(Printf.sprintf "%s.when%d" loc (i + 1))
+            cond
+        in
+        (match top with
+        | None -> bool_context env st ~loc:(Printf.sprintf "%s.when%d" loc (i + 1)) tc
+        | Some to_ ->
+            check_comparable env st
+              ~loc:(Printf.sprintf "%s.when%d" loc (i + 1))
+              to_ tc);
+        infer env scope st ~agg
+          ~loc:(Printf.sprintf "%s.then%d" loc (i + 1))
+          result)
+      branches
+  in
+  let telse =
+    Option.map (fun e -> infer env scope st ~agg ~loc:(loc ^ ".else") e) else_
+  in
+  let all = results @ Option.to_list telse in
+  let cls =
+    match all with
+    | [] -> K_any
+    | t :: rest ->
+        List.fold_left (fun acc t -> join_class acc t.ty_class) t.ty_class rest
+  in
+  let nulls =
+    List.map (fun t -> t.ty_nullability) all
+    @ (if else_ = None then [ Nullability.Definitely_null ] else [])
+  in
+  mk_ty cls (Nullability.joins nulls)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+
+let join_ty a b =
+  {
+    ty_class = join_class a.ty_class b.ty_class;
+    ty_collation =
+      (if Collation.equal a.ty_collation b.ty_collation then a.ty_collation
+       else Collation.Binary);
+    ty_nullability = Nullability.join a.ty_nullability b.ty_nullability;
+  }
+
+let rec scope_of_item env st ~loc (it : A.from_item) : scope =
+  match it with
+  | A.F_table { name; alias } -> (
+      match
+        List.find_opt (fun t -> lc t.tab_name = lc name) env.env_tables
+      with
+      | Some t ->
+          let label = Option.value alias ~default:name in
+          scope_of_table env.env_dialect ~label t
+      | None ->
+          err st Diagnostic.Unknown_table loc
+            (Printf.sprintf "unknown table %s" name);
+          [])
+  | A.F_join { kind; left; right; on } ->
+      let ls = scope_of_item env st ~loc:(loc ^ ".left") left in
+      let rs = scope_of_item env st ~loc:(loc ^ ".right") right in
+      let rs =
+        match kind with
+        | A.Left ->
+            (* the right side of a LEFT JOIN is NULL-padded on misses *)
+            List.map
+              (fun sc ->
+                match sc.sc_ty.ty_nullability with
+                | Nullability.Not_null ->
+                    {
+                      sc with
+                      sc_ty =
+                        { sc.sc_ty with
+                          ty_nullability = Nullability.Maybe_null };
+                    }
+                | _ -> sc)
+              rs
+        | A.Inner | A.Cross -> rs
+      in
+      let scope = ls @ rs in
+      (match on with
+      | None -> ()
+      | Some e ->
+          let t =
+            infer env scope st ~agg:Agg_forbidden ~loc:(loc ^ ".on") e
+          in
+          bool_context env st ~loc:(loc ^ ".on") t);
+      scope
+  | A.F_sub { sub; alias } ->
+      let cols = check_query_in env st ~loc:(loc ^ ".sub") sub in
+      (* Derived tables erase declared-type metadata: class drops to K_any
+         and collation to binary, mirroring both the generator's degraded
+         view of wrapped pivot tables and the engine's runtime treatment
+         (values that crossed a subquery boundary carry no declared type).
+         Nullability survives — it abstracts the values themselves. *)
+      List.map
+        (fun (name, t) ->
+          {
+            sc_label = alias;
+            sc_name = name;
+            sc_ty =
+              { t with ty_class = K_any; ty_collation = Collation.Binary };
+          })
+        cols
+
+and scope_of_from env st ~loc items =
+  List.concat
+    (List.mapi
+       (fun i it ->
+         scope_of_item env st ~loc:(Printf.sprintf "%s.from%d" loc (i + 1)) it)
+       items)
+
+and check_select env st ~loc (s : A.select) : (string * ty) list =
+  let scope = scope_of_from env st ~loc s.A.sel_from in
+  (match s.A.sel_where with
+  | None -> ()
+  | Some w ->
+      let t = infer env scope st ~agg:Agg_forbidden ~loc:(loc ^ ".where") w in
+      bool_context env st ~loc:(loc ^ ".where") t;
+      if Nullability.equal t.ty_nullability Nullability.Definitely_null then
+        report st
+          (Diagnostic.warning ~code:Diagnostic.Null_predicate
+             ~loc:(loc ^ ".where")
+             "the WHERE clause always evaluates to NULL and selects nothing"));
+  List.iteri
+    (fun i e ->
+      ignore
+        (infer env scope st ~agg:Agg_forbidden
+           ~loc:(Printf.sprintf "%s.group-by%d" loc (i + 1))
+           e))
+    s.A.sel_group_by;
+  (match s.A.sel_having with
+  | None -> ()
+  | Some h ->
+      let t = infer env scope st ~agg:Agg_ok ~loc:(loc ^ ".having") h in
+      bool_context env st ~loc:(loc ^ ".having") t);
+  List.iteri
+    (fun i (e, _dir) ->
+      ignore
+        (infer env scope st ~agg:Agg_ok
+           ~loc:(Printf.sprintf "%s.order-by%d" loc (i + 1))
+           e))
+    s.A.sel_order_by;
+  if s.A.sel_items = [] then
+    err st Diagnostic.Empty_select loc "SELECT with an empty select list";
+  List.concat
+    (List.mapi
+       (fun i (item : A.select_item) ->
+         let loc_i = Printf.sprintf "%s.item%d" loc (i + 1) in
+         match item with
+         | A.Star ->
+             if scope = [] then begin
+               err st Diagnostic.Empty_select loc_i
+                 "SELECT * with no FROM clause";
+               []
+             end
+             else List.map (fun sc -> (sc.sc_name, sc.sc_ty)) scope
+         | A.Table_star t -> (
+             match
+               List.filter (fun sc -> lc sc.sc_label = lc t) scope
+             with
+             | [] ->
+                 err st Diagnostic.Unknown_table loc_i
+                   (Printf.sprintf "%s.* refers to no table in scope" t);
+                 []
+             | cols -> List.map (fun sc -> (sc.sc_name, sc.sc_ty)) cols)
+         | A.Sel_expr (e, alias) ->
+             let t = infer env scope st ~agg:Agg_ok ~loc:loc_i e in
+             let name =
+               match (alias, e) with
+               | Some a, _ -> a
+               | None, A.Col { column; _ } -> column
+               | None, _ -> Printf.sprintf "column%d" (i + 1)
+             in
+             [ (name, t) ])
+       s.A.sel_items)
+
+and check_query_in env st ~loc (q : A.query) : (string * ty) list =
+  match q with
+  | A.Q_select s -> check_select env st ~loc s
+  | A.Q_values rows -> (
+      match rows with
+      | [] ->
+          err st Diagnostic.Empty_select loc "VALUES with no rows";
+          []
+      | first :: _ ->
+          let width = List.length first in
+          List.iteri
+            (fun r row ->
+              if List.length row <> width then
+                err st Diagnostic.Column_count_mismatch
+                  (Printf.sprintf "%s.row%d" loc (r + 1))
+                  (Printf.sprintf "VALUES row has %d columns, expected %d"
+                     (List.length row) width))
+            rows;
+          let ty_rows =
+            List.mapi
+              (fun r row ->
+                List.mapi
+                  (fun c e ->
+                    infer env [] st ~agg:Agg_forbidden
+                      ~loc:(Printf.sprintf "%s.row%d.col%d" loc (r + 1) (c + 1))
+                      e)
+                  row)
+              rows
+          in
+          List.init width (fun c ->
+              let col_tys =
+                List.filter_map (fun row -> List.nth_opt row c) ty_rows
+              in
+              let t =
+                match col_tys with
+                | [] -> unknown_ty
+                | t :: rest -> List.fold_left join_ty t rest
+              in
+              (Printf.sprintf "column%d" (c + 1), t)))
+  | A.Q_compound (op, a, b) ->
+      let ca = check_query_in env st ~loc:(loc ^ ".left") a in
+      let cb = check_query_in env st ~loc:(loc ^ ".right") b in
+      if List.length ca <> List.length cb then begin
+        err st Diagnostic.Column_count_mismatch loc
+          (Printf.sprintf "compound arms have %d and %d columns"
+             (List.length ca) (List.length cb));
+        ca
+      end
+      else begin
+        List.iteri
+          (fun i ((_, ta), (_, tb)) ->
+            if not (compatible_class ta.ty_class tb.ty_class) then
+              err st Diagnostic.Type_mismatch loc
+                (Printf.sprintf
+                   "%s column %d combines %s with %s"
+                   (match op with
+                   | A.Union -> "UNION"
+                   | A.Union_all -> "UNION ALL"
+                   | A.Intersect -> "INTERSECT"
+                   | A.Except -> "EXCEPT")
+                   (i + 1) (class_name ta.ty_class) (class_name tb.ty_class)))
+          (List.combine ca cb);
+        List.map2 (fun (name, ta) (_, tb) -> (name, join_ty ta tb)) ca cb
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+
+let finish st = List.rev st.diags
+
+let check_expr env e =
+  let st = { diags = [] } in
+  let scope =
+    List.concat_map
+      (fun t -> scope_of_table env.env_dialect ~label:t.tab_name t)
+      env.env_tables
+  in
+  let t = infer env scope st ~agg:Agg_forbidden ~loc:"expr" e in
+  (t, finish st)
+
+let check_query env q =
+  let st = { diags = [] } in
+  let cols = check_query_in env st ~loc:"query" q in
+  (cols, finish st)
+
+let check_stmt env (stmt : A.stmt) =
+  match stmt with
+  | A.Select_stmt q | A.Explain q -> snd (check_query env q)
+  | _ -> []

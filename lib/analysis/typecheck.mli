@@ -1,0 +1,81 @@
+(** Typed-AST checker and 3VL nullability analysis.
+
+    An abstract interpretation of the reference expression semantics
+    ([Pqs.Interp] / [Engine.Eval]): every expression node is assigned a
+    storage-class abstraction, a collation, and a {!Nullability.t}; every
+    query a typed output row.  Diagnostics flag trees the concrete
+    evaluator is guaranteed to reject (unknown names, wrong arities,
+    dialect-foreign syntax, postgres strict-typing violations on definite
+    classes).  Dynamically typed corners — sqlite columns, NULL literals —
+    abstract to {!K_any}, which every check accepts, keeping the analysis
+    sound for the well-typed-by-construction generators. *)
+
+open Sqlval
+module A := Sqlast.Ast
+
+(** {1 Storage-class lattice} *)
+
+type cls = K_any | K_num | K_int | K_real | K_text | K_blob | K_bool
+
+val pp_cls : Format.formatter -> cls -> unit
+val show_cls : cls -> string
+val equal_cls : cls -> cls -> bool
+
+val class_name : cls -> string
+(** Lower-case rendering used in diagnostics ("integer", "text", ...). *)
+
+val join_class : cls -> cls -> cls
+(** Least upper bound: distinct numeric classes join to [K_num]; anything
+    else joins to [K_any]. *)
+
+val compatible_class : cls -> cls -> bool
+(** Can values of these classes meet in a comparison without a
+    strict-typing error?  [K_any] is compatible with everything. *)
+
+val class_of_value : Value.t -> cls
+
+val class_of_column : Dialect.t -> Datatype.t -> cls
+(** Abstraction of what a stored column value can be.  All sqlite columns
+    are [K_any] (declarations are affinities); mysql BOOL stores integers. *)
+
+(** {1 Environments} *)
+
+type ty = {
+  ty_class : cls;
+  ty_collation : Collation.t;
+  ty_nullability : Nullability.t;
+}
+
+val pp_ty : Format.formatter -> ty -> unit
+val show_ty : ty -> string
+val equal_ty : ty -> ty -> bool
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+  col_collation : Collation.t;
+  col_nullability : Nullability.t;
+}
+
+type table = { tab_name : string; tab_columns : column list }
+type env = { env_dialect : Dialect.t; env_tables : table list }
+
+val env : Dialect.t -> table list -> env
+
+val table_of_schema : Storage.Schema.table -> table
+(** Build an analysis table from a storage schema (NOT NULL becomes
+    {!Nullability.Not_null}). *)
+
+(** {1 Checking} *)
+
+val check_expr : env -> A.expr -> ty * Diagnostic.t list
+(** Check an expression with every environment table in scope (the shape
+    of a WHERE clause over the pivot tables).  Aggregates are forbidden. *)
+
+val check_query : env -> A.query -> (string * ty) list * Diagnostic.t list
+(** Check a full query; returns the typed output row (column names paired
+    with inferred types) alongside any diagnostics. *)
+
+val check_stmt : env -> A.stmt -> Diagnostic.t list
+(** Check the query inside [Select_stmt] / [Explain]; other statement
+    kinds yield no diagnostics. *)

@@ -1,6 +1,12 @@
 open Sqlval
 
-type oracle = Containment | Non_containment | Error_oracle | Crash | Metamorphic
+type oracle =
+  | Containment
+  | Non_containment
+  | Error_oracle
+  | Crash
+  | Metamorphic
+  | Lint
 [@@deriving show { with_path = false }, eq]
 
 (* the negative variant reports under the same Table 3 column *)
@@ -9,6 +15,7 @@ let oracle_label = function
   | Error_oracle -> "Error"
   | Crash -> "SEGFAULT"
   | Metamorphic -> "Metamorphic"
+  | Lint -> "Lint"
 
 type t = {
   dialect : Dialect.t;

@@ -12,6 +12,9 @@ type oracle =
   | Metamorphic
       (** an aggregate partition relation was violated (paper Section 7
           future work; see {!Metamorphic} and [Oracle.metamorphic]) *)
+  | Lint
+      (** the static analyzer found an ill-typed tree or an inconsistent
+          access plan (see [Analysis] and [Lint.oracle]) *)
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val show_oracle : oracle -> string

@@ -1,0 +1,58 @@
+(** The static-analysis self-check oracle.
+
+    Bridges [Analysis] into the PQS loop: typechecks every containment
+    query against the live session's catalog and, on a clean engine (no
+    injected bugs), lints the planner's access paths.  Error diagnostics
+    become [Bug_report.Lint] reports.
+
+    The oracle is campaign-neutral by construction: it only analyzes
+    successfully executed [Select_stmt] / [Explain] statements (expected
+    DDL/DML errors keep flowing to the error oracle), plan linting is
+    gated on an empty bug set, and appending it after [Oracle.defaults]
+    preserves report priority — so enabling it must not change the bug
+    set a campaign reports. *)
+
+open Sqlval
+
+val table_of_info : Schema_info.table_info -> Analysis.Typecheck.table
+
+val env_of_session : Engine.Session.t -> Analysis.env
+(** Analysis environment over the session's current tables and views
+    (view columns are untyped with binary collation). *)
+
+val env_of_pivot :
+  Dialect.t -> (Schema_info.table_info * Value.t array) list -> Analysis.env
+(** Environment seeded from a pivot row: each column's nullability is the
+    abstraction of its pivot value, for cross-checking the analysis
+    against [Interp]'s concrete evaluation. *)
+
+val check_stmt : Engine.Session.t -> Sqlast.Ast.stmt -> Analysis.Diagnostic.t list
+(** Typecheck the query inside a [Select_stmt] / [Explain]. *)
+
+val lint_plans : Engine.Session.t -> Sqlast.Ast.query -> Analysis.Diagnostic.t list
+(** Choose and lint the access path for every single-table scan site in
+    the query (including derived tables and compound arms). *)
+
+val oracle : Oracle.t
+(** The ["lint"] oracle.  Append it to [Oracle.defaults] (CLI flag
+    [--lint]); never insert it before them. *)
+
+type sweep_result = {
+  sw_seeds : int;
+  sw_queries : int;  (** containment statements analyzed *)
+  sw_plans : int;  (** single-table scan sites linted *)
+  sw_diags : (int * Analysis.Diagnostic.t) list;
+      (** every diagnostic (any severity), tagged with its seed *)
+}
+
+val sweep :
+  ?queries_per_seed:int ->
+  seed_lo:int ->
+  seed_hi:int ->
+  Dialect.t ->
+  sweep_result
+(** Generate a lean database and [queries_per_seed] containment queries
+    per seed in [seed_lo..seed_hi] (inclusive) on a clean engine, and
+    analyze all of them.  The generators are well-typed by construction,
+    so any diagnostic is an analyzer (or generator) defect — [make lint]
+    and the acceptance property test fail on a non-empty [sw_diags]. *)

@@ -75,6 +75,10 @@ let manifestation_check ~dialect ~bugs ~oracle : check =
       (* the violated partition relation cannot be re-checked from the
          statement list alone, so reduction is a no-op for these reports *)
       false
+  | Bug_report.Lint ->
+      (* static-analysis findings depend on schema state at analysis time,
+         not on replay behaviour; reduction is likewise a no-op *)
+      false
 
 (* one pass of greedy single-statement deletion; [keep_last] protects the
    detecting query *)

@@ -49,10 +49,6 @@ module Config = struct
 end
 
 type config = Config.t
-
-let default_config ?(seed = 1) ?(bugs = Engine.Bug.empty_set) dialect =
-  Config.make ~seed ~bugs dialect
-
 type stats = Stats.t
 
 (* replay a script on a correct engine and report whether the final SELECT
@@ -91,8 +87,8 @@ let correct_engine_misses dialect stmts =
   !empty
 
 (* ground-truth confirmation applies only to the containment kinds; the
-   other oracles (error, crash, metamorphic, user-defined) are their own
-   witnesses *)
+   other oracles (error, crash, metamorphic, lint, user-defined) are their
+   own witnesses *)
 let confirm_report (config : Config.t) kind script =
   (not config.Config.verify_ground_truth)
   ||
@@ -100,7 +96,9 @@ let confirm_report (config : Config.t) kind script =
   | Bug_report.Containment -> correct_engine_fetches config.Config.dialect script
   | Bug_report.Non_containment ->
       correct_engine_misses config.Config.dialect script
-  | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Metamorphic -> true
+  | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Metamorphic
+  | Bug_report.Lint ->
+      true
 
 let run_round (config : Config.t) ~db_seed : Stats.t =
   let open Config in
@@ -120,6 +118,11 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
     }
   in
   let log = ref [] in
+  (* whether the static-analysis self-check oracle participates; its
+     observations are counted so campaign summaries show coverage *)
+  let lint_enabled =
+    List.exists (fun o -> String.equal (Oracle.name o) "lint") config.oracles
+  in
   let record kind message =
     let r =
       {
@@ -131,6 +134,14 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
         seed = db_seed;
       }
     in
+    (match kind with
+    | Bug_report.Lint ->
+        stats :=
+          {
+            !stats with
+            Stats.lint_diagnostics = (!stats).Stats.lint_diagnostics + 1;
+          }
+    | _ -> ());
     stats := Stats.add_report !stats r;
     Some r
   in
@@ -339,6 +350,13 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                                 let pivot_found =
                                   rs.Engine.Executor.rs_rows <> []
                                 in
+                                if lint_enabled then
+                                  stats :=
+                                    {
+                                      !stats with
+                                      Stats.lint_checks =
+                                        (!stats).Stats.lint_checks + 1;
+                                    };
                                 match
                                   dispatch
                                     (Oracle.Containment_check

@@ -72,11 +72,6 @@ end
 
 type config = Config.t
 
-val default_config :
-  ?seed:int -> ?bugs:Engine.Bug.set -> Sqlval.Dialect.t -> config
-[@@ocaml.deprecated "use Runner.Config.make instead"]
-(** @deprecated Shim for the pre-campaign API; use {!Config.make}. *)
-
 type stats = Stats.t
 (** Alias kept for readability of older call sites; see {!Stats}. *)
 

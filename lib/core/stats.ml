@@ -10,6 +10,8 @@ type t = {
   reports : Bug_report.t list;
   truth_values : (Tvl.t * int) list;
   negative_checks : int;
+  lint_checks : int;
+  lint_diagnostics : int;
 }
 
 (* truth_values is kept on the canonical key set so that [merge] is
@@ -33,6 +35,8 @@ let empty =
     reports = [];
     truth_values = canonical_truth_values [];
     negative_checks = 0;
+    lint_checks = 0;
+    lint_diagnostics = 0;
   }
 
 let merge a b =
@@ -49,6 +53,8 @@ let merge a b =
         (fun t -> (t, truth_count a.truth_values t + truth_count b.truth_values t))
         canonical_truths;
     negative_checks = a.negative_checks + b.negative_checks;
+    lint_checks = a.lint_checks + b.lint_checks;
+    lint_diagnostics = a.lint_diagnostics + b.lint_diagnostics;
   }
 
 let merge_all = List.fold_left merge empty
@@ -66,9 +72,10 @@ let bump_truth t truth =
 let summary t =
   Printf.sprintf
     "databases=%d pivots=%d containment-checks=%d statements=%d \
-     interp-failures=%d false-positives=%d negative-checks=%d findings=%d"
+     interp-failures=%d false-positives=%d negative-checks=%d \
+     lint-checks=%d lint-diagnostics=%d findings=%d"
     t.databases t.pivots t.queries t.statements t.interp_failures
-    t.false_positives t.negative_checks
+    t.false_positives t.negative_checks t.lint_checks t.lint_diagnostics
     (List.length t.reports)
 
 let pp fmt t = Format.pp_print_string fmt (summary t)

@@ -24,6 +24,10 @@ type t = {
           always in canonical [TRUE; FALSE; UNKNOWN] key order *)
   negative_checks : int;
       (** how many checks were of the non-containment variant *)
+  lint_checks : int;
+      (** statements and plans analyzed by the [lint] self-check oracle *)
+  lint_diagnostics : int;
+      (** lint-oracle reports recorded (each carries >= 1 diagnostic) *)
 }
 
 val empty : t

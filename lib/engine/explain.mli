@@ -1,0 +1,21 @@
+(** EXPLAIN: render the access plan the executor would use.
+
+    Produces the human-readable plan lines behind [EXPLAIN <query>]
+    (sqlite's [EXPLAIN QUERY PLAN] flavour): one line per scan, derived
+    table, or compound arm, naming the {!Planner.path} chosen for each
+    single-table FROM clause. *)
+
+val from_lines :
+  Executor.ctx -> Sqlast.Ast.from_item -> where:Sqlast.Ast.expr option -> string list
+(** Plan lines for one FROM item under the given WHERE clause (the clause
+    is only consulted for plain single-table scans). *)
+
+val query_lines : Executor.ctx -> Sqlast.Ast.query -> string list
+(** Plan lines for a whole query, recursing into derived tables and
+    compound arms. *)
+
+val run :
+  Executor.ctx ->
+  Sqlast.Ast.query ->
+  (Executor.result_set, Errors.t) result
+(** Execute [EXPLAIN q]: a one-column result set of {!query_lines}. *)
