@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint fmt bench clean
+.PHONY: all build test smoke lint fmt bench telemetry clean
 
 all: build
 
@@ -34,6 +34,12 @@ fmt:
 
 bench:
 	$(DUNE) exec bench/main.exe -- campaign
+
+# Telemetry overhead gate: the same campaign with a live registry vs the
+# noop sink (interleaved, best-of-6), asserting identical bug sets and a
+# <5% wall-time overhead.  Writes BENCH_telemetry.json.
+telemetry:
+	$(DUNE) exec bench/main.exe -- quick telemetry
 
 clean:
 	$(DUNE) clean

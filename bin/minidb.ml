@@ -26,10 +26,10 @@ let print_result = function
   | Engine.Session.Affected n -> Printf.printf "ok (%d rows affected)\n" n
   | Engine.Session.Done -> print_endline "ok"
 
-let handle_meta session_ref dialect line =
+let handle_meta session_ref dialect tele line =
   match String.split_on_char ' ' (String.trim line) with
   | [ ".bugs" ] | [ ".bugs"; "" ] ->
-      session_ref := Engine.Session.create dialect;
+      session_ref := Engine.Session.create ~telemetry:tele dialect;
       print_endline "bugs cleared; fresh session";
       true
   | [ ".bugs"; spec ] ->
@@ -43,7 +43,9 @@ let handle_meta session_ref dialect line =
                    None)
       in
       session_ref :=
-        Engine.Session.create ~bugs:(Engine.Bug.set_of_list bugs) dialect;
+        Engine.Session.create
+          ~bugs:(Engine.Bug.set_of_list bugs)
+          ~telemetry:tele dialect;
       Printf.printf "fresh session with %d bug(s) enabled\n" (List.length bugs);
       true
   | [ ".tables" ] ->
@@ -52,12 +54,15 @@ let handle_meta session_ref dialect line =
   | [ ".quit" ] | [ ".exit" ] -> raise Exit
   | _ -> false
 
-let repl dialect =
+let repl dialect metrics =
   Printf.printf
     "minidb %s — type SQL terminated by ';', or .tables / .bugs <list> / \
      .quit\n"
     (Sqlval.Dialect.name dialect);
-  let session = ref (Engine.Session.create dialect) in
+  let tele =
+    if metrics = None then Telemetry.noop else Telemetry.create ()
+  in
+  let session = ref (Engine.Session.create ~telemetry:tele dialect) in
   let buffer = Buffer.create 256 in
   (try
      while true do
@@ -67,7 +72,7 @@ let repl dialect =
        if Buffer.length buffer = 0 && String.length (String.trim line) > 0
           && (String.trim line).[0] = '.'
        then begin
-         if not (handle_meta session dialect line) then
+         if not (handle_meta session dialect tele line) then
            print_endline "unknown meta command"
        end
        else begin
@@ -76,7 +81,12 @@ let repl dialect =
          let text = Buffer.contents buffer in
          if String.contains line ';' then begin
            Buffer.clear buffer;
-           match Sqlparse.Parser.parse_script text with
+           (* the only text-parsing path in the stack: the PQS loop feeds
+              ASTs straight to the engine, so phase="parse" appears here *)
+           match
+             Telemetry.Span.timed tele Telemetry.Phase.Parse
+               (fun () -> Sqlparse.Parser.parse_script text)
+           with
            | Error e -> print_endline (Sqlparse.Parser.show_error e)
            | Ok stmts ->
                List.iter
@@ -92,6 +102,11 @@ let repl dialect =
        end
      done
    with Exit -> ());
+  (match metrics with
+  | Some path ->
+      Telemetry.write_file tele path;
+      Printf.printf "metrics written to %s\n" path
+  | None -> ());
   print_endline "bye";
   0
 
@@ -110,9 +125,18 @@ let () =
       & opt dialect_conv Sqlval.Dialect.Sqlite_like
       & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc:"sqlite, mysql or postgres")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "write session telemetry on exit (Prometheus text, or JSON when \
+             FILE ends in .json)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "minidb" ~doc:"interactive SQL shell over the minidb engine")
-      Term.(const repl $ dialect)
+      Term.(const repl $ dialect $ metrics)
   in
   exit (Cmd.eval' cmd)

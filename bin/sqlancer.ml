@@ -120,7 +120,22 @@ let lint_arg =
     & info [ "lint" ]
         ~doc:"add the static-analysis self-check oracle (see Analysis)")
 
-let run dialect seed queries all_bugs with_lint =
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "write the telemetry registry on exit: Prometheus text format, or \
+           a JSON snapshot when FILE ends in .json")
+
+let write_metrics tele = function
+  | None -> ()
+  | Some path ->
+      Telemetry.write_file tele path;
+      Printf.printf "metrics written to %s\n" path
+
+let run dialect seed queries all_bugs with_lint metrics =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
@@ -129,9 +144,15 @@ let run dialect seed queries all_bugs with_lint =
     if with_lint then Pqs.Oracle.defaults @ [ Pqs.Lint.oracle ]
     else Pqs.Oracle.defaults
   in
-  let config = Pqs.Runner.Config.make ~seed ~bugs ~oracles dialect in
+  let telemetry =
+    if metrics = None then Telemetry.noop else Telemetry.create ()
+  in
+  let config =
+    Pqs.Runner.Config.make ~seed ~bugs ~oracles ~telemetry dialect
+  in
   let stats = Pqs.Runner.run ~max_queries:queries config in
   print_endline (Pqs.Stats.summary stats);
+  write_metrics telemetry metrics;
   List.iter (print_report ~reduce:true ~bugs) stats.Pqs.Stats.reports;
   if stats.Pqs.Stats.reports = [] then 0 else 1
 
@@ -145,12 +166,43 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run the PQS loop and report findings")
     Term.(
-      const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs $ lint_arg)
+      const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs $ lint_arg
+      $ metrics_arg)
 
 (* ---- campaign ---- *)
 
-let campaign_run dialect seed databases domains trace all_bugs with_metamorphic
-    with_lint =
+(* top-of-funnel operator summary derived from the merged registry:
+   slowest phase by total time, round latency quantiles, throughput *)
+let funnel_line tele (c : Pqs.Campaign.t) =
+  let slowest =
+    List.fold_left
+      (fun acc (s : Telemetry.sample) ->
+        match (s.Telemetry.s_value, s.Telemetry.s_name) with
+        | ( Telemetry.Histogram { sum; _ },
+            ("pqs_phase_seconds" | "minidb_phase_seconds") ) -> (
+            match List.assoc_opt "phase" s.Telemetry.s_labels with
+            | Some phase -> (
+                match acc with
+                | Some (_, best) when best >= sum -> acc
+                | _ -> Some (phase, sum))
+            | None -> acc)
+        | _ -> acc)
+      None (Telemetry.snapshot tele)
+  in
+  let quant q =
+    match Telemetry.quantile tele "pqs_round_seconds" q with
+    | Some v -> Printf.sprintf "%.0fms" (v *. 1000.0)
+    | None -> "n/a"
+  in
+  Printf.sprintf "funnel: slowest-phase=%s p50-round=%s p99-round=%s stmts/s=%.0f"
+    (match slowest with
+    | Some (phase, sum) -> Printf.sprintf "%s(%.2fs)" phase sum
+    | None -> "n/a")
+    (quant 0.5) (quant 0.99)
+    (Pqs.Campaign.statements_per_sec c)
+
+let campaign_run dialect seed databases domains trace chrome_trace all_bugs
+    with_metamorphic with_lint metrics =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
@@ -160,26 +212,34 @@ let campaign_run dialect seed databases domains trace all_bugs with_metamorphic
     @ (if with_metamorphic then [ Pqs.Oracle.metamorphic () ] else [])
     @ if with_lint then [ Pqs.Lint.oracle ] else []
   in
-  let config = Pqs.Runner.Config.make ~bugs ~oracles dialect in
+  (* always enabled for campaigns: the funnel summary comes from it, and
+     recording is campaign-neutral (verified by test_telemetry) *)
+  let telemetry = Telemetry.create () in
+  let config = Pqs.Runner.Config.make ~bugs ~oracles ~telemetry dialect in
   let c =
-    Pqs.Campaign.run ?domains ?trace ~seed_lo:seed ~seed_hi:(seed + databases)
-      config
+    Pqs.Campaign.run ?domains ?trace ?chrome_trace ~seed_lo:seed
+      ~seed_hi:(seed + databases) config
   in
-  Printf.printf "domains=%d wall=%.2fs stmts/s=%.0f\n%s\n"
+  Printf.printf "domains=%d wall=%.2fs stmts/s=%.0f\n%s\n%s\n"
     c.Pqs.Campaign.domains c.Pqs.Campaign.elapsed
     (Pqs.Campaign.statements_per_sec c)
-    (Pqs.Stats.summary c.Pqs.Campaign.stats);
+    (Pqs.Stats.summary c.Pqs.Campaign.stats)
+    (funnel_line telemetry c);
   (match trace with
   | Some path -> Printf.printf "event trace written to %s\n" path
   | None -> ());
+  (match chrome_trace with
+  | Some path -> Printf.printf "chrome trace written to %s\n" path
+  | None -> ());
+  write_metrics telemetry metrics;
   List.iter (print_report ~reduce:true ~bugs) (Pqs.Campaign.reports c);
   if Pqs.Campaign.reports c = [] then 0 else 1
 
-let campaign dialect seed databases domains trace all_bugs with_metamorphic
-    with_lint =
+let campaign dialect seed databases domains trace chrome_trace all_bugs
+    with_metamorphic with_lint metrics =
   try
-    campaign_run dialect seed databases domains trace all_bugs with_metamorphic
-      with_lint
+    campaign_run dialect seed databases domains trace chrome_trace all_bugs
+      with_metamorphic with_lint metrics
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -204,6 +264,15 @@ let campaign_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE" ~doc:"write a JSONL event trace")
   in
+  let chrome_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace-event JSON file of the per-worker seed \
+             spans (open in chrome://tracing or Perfetto)")
+  in
   let all_bugs =
     Arg.(
       value & flag
@@ -223,7 +292,7 @@ let campaign_cmd =
           merge the results deterministically")
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
-      $ all_bugs $ with_metamorphic $ lint_arg)
+      $ chrome_trace $ all_bugs $ with_metamorphic $ lint_arg $ metrics_arg)
 
 (* ---- lint ---- *)
 

@@ -2,6 +2,7 @@ type outcome = {
   seed : int;
   worker : int;
   round : Stats.t;
+  started : float;
   wall : float;
 }
 
@@ -37,6 +38,11 @@ let summary_line t =
     (List.length t.stats.Stats.reports)
     t.elapsed (statements_per_sec t)
 
+let partial_line ~domains ~seeds_done =
+  Printf.sprintf
+    "{\"type\":\"campaign_partial\",\"domains\":%d,\"seeds_done\":%d}" domains
+    seeds_done
+
 let output_trace oc t =
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -46,7 +52,40 @@ let output_trace oc t =
 
 let write_trace t path = output_trace (open_out path) t
 
-let run ?domains ?trace ~seed_lo ~seed_hi (config : Runner.config) =
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+
+let chrome_events t =
+  let workers =
+    List.sort_uniq compare (List.map (fun o -> o.worker) t.outcomes)
+  in
+  Telemetry.Trace.process_name "pqs campaign"
+  :: List.map
+       (fun w ->
+         Telemetry.Trace.thread_name ~tid:w (Printf.sprintf "worker %d" w))
+       workers
+  @ List.map
+      (fun o ->
+        Telemetry.Trace.complete
+          ~name:(Printf.sprintf "seed %d" o.seed)
+          ~cat:"round"
+          ~args:
+            [
+              ("seed", Telemetry.Trace.Int o.seed);
+              ("statements", Telemetry.Trace.Int o.round.Stats.statements);
+              ("queries", Telemetry.Trace.Int o.round.Stats.queries);
+              ( "reports",
+                Telemetry.Trace.Int (List.length o.round.Stats.reports) );
+            ]
+          ~ts_us:(o.started *. 1e6) ~dur_us:(o.wall *. 1e6) ~tid:o.worker ())
+      t.outcomes
+
+let write_chrome_trace t path = Telemetry.Trace.write path (chrome_events t)
+
+(* ------------------------------------------------------------------ *)
+
+let run ?domains ?trace ?chrome_trace ~seed_lo ~seed_hi
+    (config : Runner.config) =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -54,6 +93,18 @@ let run ?domains ?trace ~seed_lo ~seed_hi (config : Runner.config) =
   in
   (* open the trace before spending any compute, so a bad path fails fast *)
   let trace_oc = Option.map open_out trace in
+  let trace_mutex = Mutex.create () in
+  let seeds_done = Atomic.make 0 in
+  (* each seed line streams out (and flushes) as its round completes, so an
+     interrupted campaign still leaves a usable prefix of the trace *)
+  let emit_seed o =
+    match trace_oc with
+    | None -> ()
+    | Some oc ->
+        Mutex.protect trace_mutex (fun () ->
+            output_string oc (seed_line o ^ "\n");
+            flush oc)
+  in
   let seeds = List.init (max 0 (seed_hi - seed_lo)) (fun i -> seed_lo + i) in
   (* striped sharding balances load; any deterministic assignment yields
      the same merged result because rounds are independent *)
@@ -65,34 +116,84 @@ let run ?domains ?trace ~seed_lo ~seed_hi (config : Runner.config) =
     | None -> [||]
     | Some _ -> Array.init domains (fun _ -> Engine.Coverage.create ())
   in
+  (* likewise a private telemetry registry per worker, merged after the
+     join (recording is campaign-neutral, so this changes no outcome) *)
+  let telemetry_enabled =
+    Telemetry.enabled config.Runner.Config.telemetry
+  in
+  let worker_teles =
+    if telemetry_enabled then Array.init domains (fun _ -> Telemetry.create ())
+    else [||]
+  in
+  let t0 = Telemetry.Clock.now () in
   let work w () =
     let config =
       if Array.length worker_covs = 0 then config
       else Runner.Config.with_coverage (Some worker_covs.(w)) config
     in
+    let tele =
+      if telemetry_enabled then worker_teles.(w) else Telemetry.noop
+    in
+    let config = Runner.Config.with_telemetry tele config in
     List.map
       (fun s ->
-        let t0 = Unix.gettimeofday () in
+        let started = Telemetry.Clock.now () -. t0 in
         let round = Runner.run_round config ~db_seed:s in
-        { seed = s; worker = w; round; wall = Unix.gettimeofday () -. t0 })
+        let wall = Telemetry.Clock.now () -. t0 -. started in
+        Telemetry.observe tele "pqs_round_seconds" wall;
+        Telemetry.inc tele "pqs_rounds_total";
+        let o = { seed = s; worker = w; round; started; wall } in
+        Atomic.incr seeds_done;
+        emit_seed o;
+        o)
       (shard w)
   in
-  let t0 = Unix.gettimeofday () in
-  let outcomes =
-    if domains = 1 then work 0 ()
-    else
-      List.init domains (fun w -> Domain.spawn (work w))
-      |> List.concat_map Domain.join
-  in
-  let elapsed = Unix.gettimeofday () -. t0 in
-  (match config.Runner.Config.coverage with
-  | Some dst ->
-      Array.iter (fun src -> Engine.Coverage.merge_into ~dst ~src) worker_covs
-  | None -> ());
-  let outcomes =
-    List.sort (fun a b -> compare a.seed b.seed) outcomes
-  in
-  let stats = Stats.merge_all (List.map (fun o -> o.round) outcomes) in
-  let t = { stats; outcomes; domains; elapsed } in
-  (match trace_oc with Some oc -> output_trace oc t | None -> ());
-  t
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (* abnormal exit: mark the streamed prefix as partial, then release
+         the channel (normal exit appends the summary below instead) *)
+      match trace_oc with
+      | Some oc when not !finished ->
+          (try
+             output_string oc
+               (partial_line ~domains ~seeds_done:(Atomic.get seeds_done)
+               ^ "\n");
+             flush oc
+           with Sys_error _ -> ());
+          close_out_noerr oc
+      | _ -> ())
+    (fun () ->
+      let outcomes =
+        if domains = 1 then work 0 ()
+        else
+          List.init domains (fun w -> Domain.spawn (work w))
+          |> List.concat_map Domain.join
+      in
+      let elapsed = Telemetry.Clock.now () -. t0 in
+      (match config.Runner.Config.coverage with
+      | Some dst ->
+          Array.iter
+            (fun src -> Engine.Coverage.merge_into ~dst ~src)
+            worker_covs
+      | None -> ());
+      if telemetry_enabled then begin
+        let dst = config.Runner.Config.telemetry in
+        Array.iter (fun src -> Telemetry.merge_into ~dst ~src) worker_teles;
+        Telemetry.set_gauge dst "pqs_campaign_domains" (float_of_int domains);
+        Telemetry.set_gauge dst "pqs_campaign_seeds"
+          (float_of_int (List.length seeds))
+      end;
+      let outcomes = List.sort (fun a b -> compare a.seed b.seed) outcomes in
+      let stats = Stats.merge_all (List.map (fun o -> o.round) outcomes) in
+      let t = { stats; outcomes; domains; elapsed } in
+      (match trace_oc with
+      | Some oc ->
+          output_string oc (summary_line t ^ "\n");
+          finished := true;
+          close_out oc
+      | None -> finished := true);
+      (match chrome_trace with
+      | Some path -> write_chrome_trace t path
+      | None -> ());
+      t)

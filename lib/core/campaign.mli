@@ -19,6 +19,8 @@ type outcome = {
   seed : int;  (** the database seed of this round *)
   worker : int;  (** which domain executed it *)
   round : Stats.t;  (** the round's statistics (≤ 1 report) *)
+  started : float;
+      (** monotonic seconds from campaign start when the round began *)
   wall : float;  (** seconds spent on this round *)
 }
 
@@ -45,14 +47,28 @@ val statements_per_sec : t -> float
       write a JSONL event trace to this path: one
       [{"type":"seed",...}] object per round (seed, worker, statements,
       queries, pivots, reports, wall_ms) and a final
-      [{"type":"campaign",...}] summary.
+      [{"type":"campaign",...}] summary.  Seed lines stream out (and
+      flush) as rounds complete, so an interrupted campaign leaves a
+      usable prefix terminated by a [{"type":"campaign_partial",...}]
+      line instead of the summary.
+    @param chrome_trace
+      additionally write a Chrome trace-event ([chrome://tracing] /
+      Perfetto) JSON file with one complete event per seed on its
+      worker's timeline.
     @param seed_lo inclusive start of the seed range
     @param seed_hi exclusive end of the seed range
+
+    All duration measurements use the monotonic {!Telemetry.Clock}.  When
+    [config]'s telemetry registry is enabled, each worker records into a
+    private registry (merged into the config's after the join, like
+    coverage), adding [pqs_round_seconds] / [pqs_rounds_total] per seed
+    and the [pqs_campaign_domains] / [pqs_campaign_seeds] gauges.
 
     [Config.seed] is ignored — the range provides the seeds. *)
 val run :
   ?domains:int ->
   ?trace:string ->
+  ?chrome_trace:string ->
   seed_lo:int ->
   seed_hi:int ->
   Runner.config ->
@@ -60,3 +76,6 @@ val run :
 
 (** Write the JSONL trace of a finished campaign. *)
 val write_trace : t -> string -> unit
+
+(** Write the Chrome trace-event file of a finished campaign. *)
+val write_chrome_trace : t -> string -> unit

@@ -9,8 +9,9 @@ type t = {
   raw_truths : Tvl.t list;
 }
 
-let synthesize ?(rectify = true) ?(target = Tvl.True) ~rng ~dialect ~pivot
-    ~case_sensitive_like ~max_depth ~check_expressions () =
+let synthesize ?(rectify = true) ?(target = Tvl.True)
+    ?(telemetry = Telemetry.noop) ~rng ~dialect ~pivot ~case_sensitive_like
+    ~max_depth ~check_expressions () =
   (* derived-table wrapping (FROM (SELECT * FROM t) AS t): the subquery's
      columns are untyped and binary-collated, so the pivot's column
      metadata must be degraded identically for the oracle *)
@@ -76,19 +77,22 @@ let synthesize ?(rectify = true) ?(target = Tvl.True) ~rng ~dialect ~pivot
         | Tvl.False -> Rectify.rectify_to_false
         | Tvl.True | Tvl.Unknown -> Rectify.rectify
       in
-      let* c, t = rectifier env raw in
+      let* c, t = rectifier ~telemetry env raw in
       truths := t :: !truths;
       Ok c
     else
       (* no-rectification ablation: use the raw condition *)
-      let* t = Interp.eval_tvl env raw in
+      let* t =
+        Telemetry.Span.timed telemetry Telemetry.Phase.Interp (fun () -> Interp.eval_tvl env raw)
+      in
       truths := t :: !truths;
       Ok raw
   in
   let condition () =
     let raw =
-      if Rng.chance rng 0.5 then Gen_expr.simple_predicate gen_ctx
-      else Gen_expr.condition gen_ctx
+      Telemetry.Span.timed telemetry Telemetry.Phase.Gen_expr (fun () ->
+          if Rng.chance rng 0.5 then Gen_expr.simple_predicate gen_ctx
+          else Gen_expr.condition gen_ctx)
     in
     one_condition raw
   in
@@ -149,8 +153,13 @@ let synthesize ?(rectify = true) ?(target = Tvl.True) ~rng ~dialect ~pivot
         | [] -> Ok (List.rev acc)
         | (col, v) :: rest ->
             if i = k then
-              let e = Gen_expr.scalar gen_ctx in
-              let* ev = Interp.eval env e in
+              let e =
+                Telemetry.Span.timed telemetry Telemetry.Phase.Gen_expr (fun () ->
+                    Gen_expr.scalar gen_ctx)
+              in
+              let* ev =
+                Telemetry.Span.timed telemetry Telemetry.Phase.Interp (fun () -> Interp.eval env e)
+              in
               build (i + 1) ((e, ev) :: acc) rest
             else build (i + 1) ((col, v) :: acc) rest
       in
@@ -165,8 +174,14 @@ let synthesize ?(rectify = true) ?(target = Tvl.True) ~rng ~dialect ~pivot
     match pivot with
     | [ (ti, _) ]
       when ti.Schema_info.ti_row_count = 1 && Rng.chance rng 0.25 ->
-        let scalar_e = Gen_expr.scalar gen_ctx in
-        let* v = Interp.eval env scalar_e in
+        let scalar_e =
+          Telemetry.Span.timed telemetry Telemetry.Phase.Gen_expr (fun () ->
+              Gen_expr.scalar gen_ctx)
+        in
+        let* v =
+          Telemetry.Span.timed telemetry Telemetry.Phase.Interp (fun () ->
+              Interp.eval env scalar_e)
+        in
         let agg =
           Rng.pick rng [ Sqlast.Ast.A_min; Sqlast.Ast.A_max ]
         in

@@ -28,6 +28,7 @@ type t = {
 val synthesize :
   ?rectify:bool ->
   ?target:Tvl.t ->
+  ?telemetry:Telemetry.t ->
   rng:Rng.t ->
   dialect:Dialect.t ->
   pivot:(Schema_info.table_info * Value.t array) list ->

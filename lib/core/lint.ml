@@ -158,15 +158,16 @@ let analyze ctx (stmt : A.stmt) =
   let session = ctx.Oracle.ctx_session in
   match stmt with
   | A.Select_stmt q | A.Explain q ->
-      let tdiags = check_stmt session stmt in
-      let pdiags =
-        (* with injected bugs enabled the planner intentionally produces
-           inconsistent paths; lint them only on a clean engine *)
-        if Engine.Bug.to_list (Engine.Session.bugs session) = [] then
-          lint_plans session q
-        else []
-      in
-      verdict_of (tdiags @ pdiags)
+      Telemetry.Span.timed ctx.Oracle.ctx_telemetry Telemetry.Phase.Lint (fun () ->
+          let tdiags = check_stmt session stmt in
+          let pdiags =
+            (* with injected bugs enabled the planner intentionally produces
+               inconsistent paths; lint them only on a clean engine *)
+            if Engine.Bug.to_list (Engine.Session.bugs session) = [] then
+              lint_plans session q
+            else []
+          in
+          verdict_of (tdiags @ pdiags))
   | _ -> Oracle.Pass
 
 let oracle : Oracle.t =

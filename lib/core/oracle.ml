@@ -5,6 +5,7 @@ type context = {
   ctx_session : Engine.Session.t;
   ctx_db_seed : int;
   ctx_rng : Rng.t;
+  ctx_telemetry : Telemetry.t;
 }
 
 type outcome =

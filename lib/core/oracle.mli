@@ -23,6 +23,9 @@ type context = {
   ctx_session : Engine.Session.t;
   ctx_db_seed : int;
   ctx_rng : Rng.t;
+  ctx_telemetry : Telemetry.t;
+      (** the runner's registry ({!Telemetry.noop} unless enabled); oracles
+          may time themselves into it but must not branch on it *)
 }
 
 (** How one statement execution ended. *)

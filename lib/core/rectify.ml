@@ -3,28 +3,38 @@ module A = Sqlast.Ast
 
 let ( let* ) = Result.bind
 
-let rectify env (e : A.expr) =
-  let* t = Interp.eval_tvl env e in
-  let rectified =
-    match t with
-    | Tvl.True -> e
-    | Tvl.False -> A.Unary (A.Not, e)
-    | Tvl.Unknown -> A.Is { negated = false; arg = e; rhs = A.Is_null }
-  in
-  (* the oracle double-checks its own output: the rectified expression must
-     evaluate to TRUE *)
-  let* check = Interp.eval_tvl env rectified in
-  if Tvl.equal check Tvl.True then Ok (rectified, t)
-  else Error "rectification postcondition failed"
+(* evaluations here run inside the enclosing "rectify" span and count
+   toward it; the "interp" phase covers only standalone evaluations
+   (scalar targets, aggregate checks, the no-rectification ablation) so
+   the phase histograms partition wall time instead of double-counting *)
+let eval_tvl _tele env e = Interp.eval_tvl env e
 
-let rectify_to_false env (e : A.expr) =
-  let* t = Interp.eval_tvl env e in
-  let rectified =
-    match t with
-    | Tvl.False -> e
-    | Tvl.True -> A.Unary (A.Not, e)
-    | Tvl.Unknown -> A.Is { negated = true; arg = e; rhs = A.Is_null }
-  in
-  let* check = Interp.eval_tvl env rectified in
-  if Tvl.equal check Tvl.False then Ok (rectified, t)
-  else Error "rectification postcondition failed"
+let fail tele =
+  Telemetry.inc tele "pqs_rectify_postcondition_failures_total";
+  Error "rectification postcondition failed"
+
+let rectify ?(telemetry = Telemetry.noop) env (e : A.expr) =
+  Telemetry.Span.timed telemetry Telemetry.Phase.Rectify (fun () ->
+      let* t = eval_tvl telemetry env e in
+      let rectified =
+        match t with
+        | Tvl.True -> e
+        | Tvl.False -> A.Unary (A.Not, e)
+        | Tvl.Unknown -> A.Is { negated = false; arg = e; rhs = A.Is_null }
+      in
+      (* the oracle double-checks its own output: the rectified expression
+         must evaluate to TRUE *)
+      let* check = eval_tvl telemetry env rectified in
+      if Tvl.equal check Tvl.True then Ok (rectified, t) else fail telemetry)
+
+let rectify_to_false ?(telemetry = Telemetry.noop) env (e : A.expr) =
+  Telemetry.Span.timed telemetry Telemetry.Phase.Rectify (fun () ->
+      let* t = eval_tvl telemetry env e in
+      let rectified =
+        match t with
+        | Tvl.False -> e
+        | Tvl.True -> A.Unary (A.Not, e)
+        | Tvl.Unknown -> A.Is { negated = true; arg = e; rhs = A.Is_null }
+      in
+      let* check = eval_tvl telemetry env rectified in
+      if Tvl.equal check Tvl.False then Ok (rectified, t) else fail telemetry)

@@ -9,8 +9,12 @@
 (** [rectify env e] returns the rectified expression together with the
     truth value the raw expression had (used by the evaluation's
     rectification-rate statistics), or an error when the oracle
-    interpreter cannot evaluate [e]. *)
+    interpreter cannot evaluate [e].  With an enabled [?telemetry]
+    registry the call is timed into [pqs_phase_seconds{phase="rectify"}]
+    (its interpreter calls also into [phase="interp"]), and postcondition
+    failures bump [pqs_rectify_postcondition_failures_total]. *)
 val rectify :
+  ?telemetry:Telemetry.t ->
   Interp.env ->
   Sqlast.Ast.expr ->
   (Sqlast.Ast.expr * Sqlval.Tvl.t, string) result
@@ -19,6 +23,7 @@ val rectify :
     "generate conditions and check that the pivot row is NOT contained").
     Used by the ablation experiments. *)
 val rectify_to_false :
+  ?telemetry:Telemetry.t ->
   Interp.env ->
   Sqlast.Ast.expr ->
   (Sqlast.Ast.expr * Sqlval.Tvl.t, string) result

@@ -18,13 +18,15 @@ module Config = struct
     coverage : Engine.Coverage.t option;
     check_non_containment : bool;
     oracles : Oracle.t list;
+    telemetry : Telemetry.t;
   }
 
   let make ?(bugs = Engine.Bug.empty_set) ?(seed = 1) ?(table_count = 2)
       ?(max_rows = 6) ?(extra_statements = 8) ?(pivots_per_db = 4)
       ?(queries_per_pivot = 6) ?(max_depth = 4) ?(check_expressions = true)
       ?(verify_ground_truth = true) ?(rectify = true) ?coverage
-      ?(check_non_containment = true) ?(oracles = Oracle.defaults) dialect =
+      ?(check_non_containment = true) ?(oracles = Oracle.defaults)
+      ?(telemetry = Telemetry.noop) dialect =
     {
       dialect;
       bugs;
@@ -41,11 +43,13 @@ module Config = struct
       coverage;
       check_non_containment;
       oracles;
+      telemetry;
     }
 
   let with_seed seed t = { t with seed }
   let with_oracles oracles t = { t with oracles }
   let with_coverage coverage t = { t with coverage }
+  let with_telemetry telemetry t = { t with telemetry }
 end
 
 type config = Config.t
@@ -102,11 +106,12 @@ let confirm_report (config : Config.t) kind script =
 
 let run_round (config : Config.t) ~db_seed : Stats.t =
   let open Config in
+  let tele = config.telemetry in
   let stats = ref { Stats.empty with Stats.databases = 1 } in
   let rng = Rng.make ~seed:db_seed in
   let session =
     Engine.Session.create ~seed:db_seed ~bugs:config.bugs
-      ?coverage:config.coverage config.dialect
+      ?coverage:config.coverage ~telemetry:tele config.dialect
   in
   let ctx =
     {
@@ -115,6 +120,7 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
       ctx_db_seed = db_seed;
       (* a private stream: oracle randomness must not perturb synthesis *)
       ctx_rng = Rng.make ~seed:(db_seed + 104651);
+      ctx_telemetry = tele;
     }
   in
   let log = ref [] in
@@ -179,6 +185,7 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
   in
   (* ---- step 1: random database ---- *)
   let generation () =
+    Telemetry.Span.timed tele Telemetry.Phase.Gen_db @@ fun () ->
     match exec_all (Gen_db.initial_statements gen_cfg) with
     | Some r -> Some r
     | None -> (
@@ -220,6 +227,7 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
         | None ->
             (* ---- steps 2-7 ---- *)
             let pivot_sources () =
+              Telemetry.Span.timed tele Telemetry.Phase.Pivot @@ fun () ->
               let tables =
                 Schema_info.tables_of_session session
                 |> List.filter_map (fun (ti : Schema_info.table_info) ->
@@ -294,7 +302,8 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                           else
                             match
                               Gen_query.synthesize ~rectify:config.rectify
-                                ~target ~rng ~dialect:config.dialect ~pivot
+                                ~target ~telemetry:tele ~rng
+                                ~dialect:config.dialect ~pivot
                                 ~case_sensitive_like:csl
                                 ~max_depth:config.max_depth
                                   (* expression targets are unsound for the
@@ -316,6 +325,7 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                                     Stats.interp_failures =
                                       (!stats).Stats.interp_failures + 1;
                                   };
+                                Telemetry.inc tele "pqs_rectify_retries_total";
                                 attempt (tries - 1)
                         in
                         match attempt 5 with
@@ -345,8 +355,20 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                               log := List.tl !log;
                               queries (q - 1)
                             in
-                            match Engine.Session.execute session stmt with
-                            | Ok (Engine.Session.Rows rs) -> (
+                            (* the span must cover only the engine call, not
+                               the recursive continuation below *)
+                            let outcome =
+                              Telemetry.Span.timed tele Telemetry.Phase.Containment
+                                (fun () ->
+                                  match
+                                    Engine.Session.execute session stmt
+                                  with
+                                  | r -> `Res r
+                                  | exception Engine.Errors.Crash msg ->
+                                      `Crash msg)
+                            in
+                            match outcome with
+                            | `Res (Ok (Engine.Session.Rows rs)) -> (
                                 let pivot_found =
                                   rs.Engine.Executor.rs_rows <> []
                                 in
@@ -386,15 +408,15 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                                     (* check passed: drop it from the log to
                                        keep reproduction scripts small *)
                                     drop_and_continue ())
-                            | Ok _ -> drop_and_continue ()
-                            | Error e -> (
+                            | `Res (Ok _) -> drop_and_continue ()
+                            | `Res (Error e) -> (
                                 match
                                   dispatch
                                     (Oracle.Statement (stmt, Oracle.Failed e))
                                 with
                                 | Some (kind, message) -> record kind message
                                 | None -> drop_and_continue ())
-                            | exception Engine.Errors.Crash msg -> (
+                            | `Crash msg -> (
                                 match
                                   dispatch
                                     (Oracle.Statement
@@ -410,7 +432,14 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
             pivots config.pivots_per_db)
   in
   ignore (round () : Bug_report.t option);
-  !stats
+  (* volume counters are bulk-incremented from the round's [Stats] rather
+     than one [inc] per statement: same exported totals, no per-statement
+     registry traffic on the hot path *)
+  let s = !stats in
+  Telemetry.inc tele ~by:s.Stats.statements "pqs_statements_total";
+  Telemetry.inc tele ~by:s.Stats.queries "pqs_queries_total";
+  Telemetry.inc tele ~by:s.Stats.pivots "pqs_pivots_total";
+  s
 
 let run ?(stop_on_first = false) ~max_queries config =
   (* databases are also capped so rounds that never reach the query stage

@@ -39,6 +39,11 @@ module Config : sig
             to be absent — the paper's Section 7 future-work variant, which
             additionally catches defects that wrongly *include* rows *)
     oracles : Oracle.t list;  (** consulted in order; first report wins *)
+    telemetry : Telemetry.t;
+        (** metrics registry for phase spans and counters;
+            {!Telemetry.noop} (zero-cost) by default.  Recording never
+            draws randomness or changes control flow, so enabling it is
+            campaign-neutral. *)
   }
 
   val make :
@@ -56,6 +61,7 @@ module Config : sig
     ?coverage:Engine.Coverage.t ->
     ?check_non_containment:bool ->
     ?oracles:Oracle.t list ->
+    ?telemetry:Telemetry.t ->
     Sqlval.Dialect.t ->
     t
 
@@ -68,6 +74,10 @@ module Config : sig
   (** Attach (or detach) a coverage instrument — campaigns give each
       worker its own and merge afterwards. *)
   val with_coverage : Engine.Coverage.t option -> t -> t
+
+  (** Swap the telemetry registry — campaigns give each worker its own
+      and merge afterwards, like coverage. *)
+  val with_telemetry : Telemetry.t -> t -> t
 end
 
 type config = Config.t

@@ -3,12 +3,61 @@ module A = Sqlast.Ast
 
 let ( let* ) = Result.bind
 
+(* handles for the per-query profiling counters, resolved once per
+   session: these fire several times per statement, so the registry
+   lookup (a string-keyed hash per inc) would dominate the telemetry
+   overhead budget if paid on every bump *)
+type profile = {
+  p_btree_nodes : Telemetry.counter_handle;
+  p_btree_entries : Telemetry.counter_handle;
+  p_index_rows : Telemetry.counter_handle;
+  p_heap_rows : Telemetry.counter_handle;
+  p_scan_rows : Telemetry.counter_handle;
+  p_plan : Telemetry.counter_handle array; (* indexed by [plan_index] *)
+}
+
+(* the planner's access paths form a closed set, so the per-path series of
+   minidb_plan_choices_total can be pre-resolved like the rest *)
+let plan_index = function
+  | Planner.Full_scan -> 0
+  | Planner.Index_eq _ -> 1
+  | Planner.Index_range _ -> 2
+  | Planner.Index_like_prefix _ -> 3
+  | Planner.Partial_index_scan _ -> 4
+  | Planner.Skip_scan _ -> 5
+  | Planner.Or_union _ -> 6
+
+let plan_labels =
+  [|
+    "full_scan"; "index_eq"; "index_range"; "index_like_prefix";
+    "partial_index"; "skip_scan"; "or_union";
+  |]
+
+let make_profile tele =
+  {
+    p_btree_nodes = Telemetry.counter_handle tele "minidb_btree_node_visits_total";
+    p_btree_entries =
+      Telemetry.counter_handle tele "minidb_btree_entries_scanned_total";
+    p_index_rows = Telemetry.counter_handle tele "minidb_index_rows_total";
+    p_heap_rows = Telemetry.counter_handle tele "minidb_heap_rows_scanned_total";
+    p_scan_rows = Telemetry.counter_handle tele "minidb_rows_scanned_total";
+    p_plan =
+      Array.map
+        (fun label ->
+          Telemetry.counter_handle tele
+            ~labels:[ ("path", label) ]
+            "minidb_plan_choices_total")
+        plan_labels;
+  }
+
 type ctx = {
   dialect : Dialect.t;
   bugs : Bug.set;
   options : Options.t;
   coverage : Coverage.t option;
   catalog : Storage.Catalog.t;
+  telemetry : Telemetry.t;
+  profile : profile;
 }
 
 type result_set = { rs_columns : string list; rs_rows : Value.t array list }
@@ -32,6 +81,24 @@ let cov ctx point =
   match ctx.coverage with None -> () | Some c -> Coverage.hit c point
 
 let bug ctx b = Bug.on ctx.bugs b
+
+(* Run [f] and charge the B-tree read work it caused on [index] (scraped
+   as deltas of the tree's cumulative profile) to the engine counters. *)
+let profile_index ctx index f =
+  if not (Telemetry.enabled ctx.telemetry) then f ()
+  else begin
+    let n0, e0 = Storage.Index.tree_profile index in
+    let r = f () in
+    let n1, e1 = Storage.Index.tree_profile index in
+    Telemetry.inc_handle ~by:(n1 - n0) ctx.profile.p_btree_nodes;
+    Telemetry.inc_handle ~by:(e1 - e0) ctx.profile.p_btree_entries;
+    r
+  end
+
+let count_index_rows ctx rowids =
+  if Telemetry.enabled ctx.telemetry then
+    Telemetry.inc_handle ~by:(List.length rowids) ctx.profile.p_index_rows;
+  rowids
 
 (* ------------------------------------------------------------------ *)
 (* Bindings                                                            *)
@@ -123,6 +190,8 @@ let rec scan_table ctx (ts : Storage.Catalog.table_state) :
   let own =
     List.map (fun r -> (r, ts.Storage.Catalog.schema)) (Storage.Heap.to_list ts.Storage.Catalog.heap)
   in
+  if Telemetry.enabled ctx.telemetry then
+    Telemetry.inc_handle ~by:(List.length own) ctx.profile.p_heap_rows;
   let parent = ts.Storage.Catalog.schema in
   let children =
     Storage.Catalog.children_of ctx.catalog parent.Storage.Schema.table_name
@@ -165,27 +234,47 @@ let rec path_rowids ?(distinct = false) ctx (path : Planner.path) :
   ignore distinct;
   match path with
   | Planner.Full_scan -> None
-  | Planner.Index_eq { index; key } -> Some (Storage.Index.find_rowids index key)
+  | Planner.Index_eq { index; key } ->
+      Some
+        (count_index_rows ctx
+           (profile_index ctx index (fun () ->
+                Storage.Index.find_rowids index key)))
   | Planner.Index_range { index; lo; hi } ->
-      let acc = ref [] in
-      let wrap = Option.map (fun (v, incl) -> ([| v |], incl)) in
-      Storage.Index.iter_range ?lo:(wrap lo) ?hi:(wrap hi)
-        (fun _ rowid -> acc := rowid :: !acc)
-        index;
-      Some (List.rev !acc)
+      let rowids =
+        profile_index ctx index (fun () ->
+            let acc = ref [] in
+            let wrap = Option.map (fun (v, incl) -> ([| v |], incl)) in
+            Storage.Index.iter_range ?lo:(wrap lo) ?hi:(wrap hi)
+              (fun _ rowid -> acc := rowid :: !acc)
+              index;
+            List.rev !acc)
+      in
+      Some (count_index_rows ctx rowids)
   | Planner.Index_like_prefix { index; prefix } ->
-      let acc = ref [] in
-      Storage.Index.iter_range
-        ~lo:([| Value.Text prefix |], true)
-        ~hi:([| Value.Text (prefix ^ "\255") |], true)
-        (fun _ rowid -> acc := rowid :: !acc)
-        index;
-      Some (List.rev !acc)
+      let rowids =
+        profile_index ctx index (fun () ->
+            let acc = ref [] in
+            Storage.Index.iter_range
+              ~lo:([| Value.Text prefix |], true)
+              ~hi:([| Value.Text (prefix ^ "\255") |], true)
+              (fun _ rowid -> acc := rowid :: !acc)
+              index;
+            List.rev !acc)
+      in
+      Some (count_index_rows ctx rowids)
   | Planner.Partial_index_scan { index } ->
-      let acc = ref [] in
-      Storage.Index.iter (fun _ rowid -> acc := rowid :: !acc) index;
-      Some (List.rev !acc)
-  | Planner.Skip_scan { index } -> Some (skip_scan_rowids ~distinct ctx index)
+      let rowids =
+        profile_index ctx index (fun () ->
+            let acc = ref [] in
+            Storage.Index.iter (fun _ rowid -> acc := rowid :: !acc) index;
+            List.rev !acc)
+      in
+      Some (count_index_rows ctx rowids)
+  | Planner.Skip_scan { index } ->
+      Some
+        (count_index_rows ctx
+           (profile_index ctx index (fun () ->
+                skip_scan_rowids ~distinct ctx index)))
   | Planner.Or_union paths ->
       let first_non_empty = ref false in
       let rowids =
@@ -349,9 +438,15 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
                        (fun (_ : Storage.Schema.column) -> Value.Null)
                        schema.Storage.Schema.columns)
                 in
-                Planner.choose
-                  (env_for ctx [ null_binding ])
-                  ctx.catalog schema ~where
+                let path =
+                  Telemetry.Span.timed ctx.telemetry Telemetry.Phase.Plan
+                    (fun () ->
+                      Planner.choose
+                        (env_for ctx [ null_binding ])
+                        ctx.catalog schema ~where)
+                in
+                Telemetry.inc_handle ctx.profile.p_plan.(plan_index path);
+                path
             in
             let used_skip_scan =
               match path with Planner.Skip_scan _ -> true | _ -> false
@@ -375,7 +470,11 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
               match path_rowids ~distinct:fctx.distinct ctx path with
               | None ->
                   cov ctx "plan.full_scan";
-                  full_scan ()
+                  let rows = full_scan () in
+                  if Telemetry.enabled ctx.telemetry then
+                    Telemetry.inc_handle ~by:(List.length rows)
+                      ctx.profile.p_scan_rows;
+                  rows
               | Some rowids ->
                   List.filter_map
                     (fun rowid ->

@@ -9,12 +9,22 @@
 
 open Sqlval
 
+type profile
+(** Pre-resolved handles for the per-query engine counters (rows scanned,
+    index rows, B-tree visits).  Resolved once per session — these fire
+    several times per statement, so they must not pay a registry lookup
+    each time.  From {!Telemetry.noop} every handle is inert. *)
+
+val make_profile : Telemetry.t -> profile
+
 type ctx = {
   dialect : Dialect.t;
   bugs : Bug.set;
   options : Options.t;
   coverage : Coverage.t option;
   catalog : Storage.Catalog.t;
+  telemetry : Telemetry.t;  (** {!Telemetry.noop} unless profiling *)
+  profile : profile;
 }
 
 type result_set = { rs_columns : string list; rs_rows : Value.t array list }

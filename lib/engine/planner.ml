@@ -37,6 +37,15 @@ let rec pp_path fmt = function
 
 let show_path p = Format.asprintf "%a" pp_path p
 
+let label = function
+  | Full_scan -> "full_scan"
+  | Index_eq _ -> "index_eq"
+  | Index_range _ -> "index_range"
+  | Index_like_prefix _ -> "index_like_prefix"
+  | Partial_index_scan _ -> "partial_index"
+  | Skip_scan _ -> "skip_scan"
+  | Or_union _ -> "or_union"
+
 let rec conjuncts = function
   | A.Binary (A.And, a, b) -> conjuncts a @ conjuncts b
   | e -> [ e ]

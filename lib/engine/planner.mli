@@ -32,6 +32,10 @@ type path =
 val pp_path : Format.formatter -> path -> unit
 val show_path : path -> string
 
+(** Stable lowercase label of the path constructor, used as the
+    [path="..."] label of [minidb_plan_choices_total]. *)
+val label : path -> string
+
 (** Split an expression into its top-level AND conjuncts. *)
 val conjuncts : Sqlast.Ast.expr -> Sqlast.Ast.expr list
 

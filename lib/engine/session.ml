@@ -3,12 +3,22 @@ module A = Sqlast.Ast
 
 let ( let* ) = Result.bind
 
+(* kind labels of minidb_statement_seconds / minidb_statements_total;
+   indexed so per-statement recording goes through pre-resolved handles *)
+let kind_names =
+  [| "select"; "insert"; "update"; "delete"; "ddl"; "txn"; "explain"; "maint" |]
+
 type t = {
   dialect : Dialect.t;
   catalog : Storage.Catalog.t;
   bugs : Bug.set;
   options : Options.t;
   coverage : Coverage.t option;
+  telemetry : Telemetry.t;
+  exec_hist : Telemetry.histogram_handle;
+  kind_handles :
+    (Telemetry.histogram_handle * Telemetry.counter_handle) array;
+  profile : Executor.profile;
   rng : Random.State.t;
   mutable txn_snapshot : Storage.Catalog.snapshot option;
   mutable stmt_count : int;
@@ -24,13 +34,30 @@ let pp_exec_result fmt = function
   | Affected n -> Format.fprintf fmt "affected %d" n
   | Done -> Format.pp_print_string fmt "ok"
 
-let create ?(seed = 42) ?(bugs = Bug.empty_set) ?coverage dialect =
+let create ?(seed = 42) ?(bugs = Bug.empty_set) ?coverage
+    ?(telemetry = Telemetry.noop) dialect =
   {
     dialect;
     catalog = Storage.Catalog.create ();
     bugs;
     options = Options.create dialect;
     coverage;
+    telemetry;
+    exec_hist =
+      Telemetry.histogram_handle telemetry
+        ~labels:[ ("phase", "execute") ]
+        "minidb_phase_seconds";
+    kind_handles =
+      Array.map
+        (fun kind ->
+          ( Telemetry.histogram_handle telemetry
+              ~labels:[ ("kind", kind) ]
+              "minidb_statement_seconds",
+            Telemetry.counter_handle telemetry
+              ~labels:[ ("kind", kind) ]
+              "minidb_statements_total" ))
+        kind_names;
+    profile = Executor.make_profile telemetry;
     rng = Random.State.make [| seed |];
     txn_snapshot = None;
     stmt_count = 0;
@@ -49,6 +76,8 @@ let ctx t : Executor.ctx =
     options = t.options;
     coverage = t.coverage;
     catalog = t.catalog;
+    telemetry = t.telemetry;
+    profile = t.profile;
   }
 
 let table_names t = Storage.Catalog.table_names t.catalog
@@ -113,7 +142,24 @@ let pragma t ~name ~value =
       | Ok () -> Ok ()
       | Error _ -> Ok () (* sqlite ignores unknown pragmas *))
 
-let execute t (stmt : A.stmt) : (exec_result, Errors.t) result =
+(* index into [kind_names], the [kind=...] dimension of
+   minidb_statement_seconds / minidb_statements_total *)
+let stmt_kind_index = function
+  | A.Select_stmt _ -> 0
+  | A.Insert _ -> 1
+  | A.Update _ -> 2
+  | A.Delete _ -> 3
+  | A.Create_table _ | A.Drop_table _ | A.Alter_table _ | A.Create_index _
+  | A.Drop_index _ | A.Create_view _ | A.Drop_view _ ->
+      4
+  | A.Begin_txn | A.Commit_txn | A.Rollback_txn -> 5
+  | A.Explain _ -> 6
+  | A.Reindex _ | A.Vacuum _ | A.Analyze _ | A.Check_table _
+  | A.Repair_table _ | A.Create_statistics _ | A.Discard_all | A.Set_option _
+  | A.Pragma _ ->
+      7
+
+let execute_raw t (stmt : A.stmt) : (exec_result, Errors.t) result =
   t.stmt_count <- t.stmt_count + 1;
   let c = ctx t in
   let* () =
@@ -212,6 +258,31 @@ let execute t (stmt : A.stmt) : (exec_result, Errors.t) result =
           Storage.Catalog.restore t.catalog snap;
           t.txn_snapshot <- None;
           Ok Done)
+
+(* One clock pair covers the phase histogram, the per-kind latency
+   histogram and the statement counter, all through handles resolved at
+   session creation; the simulated SEGFAULT ([Errors.Crash]) still
+   propagates and is still timed. *)
+let execute t (stmt : A.stmt) : (exec_result, Errors.t) result =
+  if not (Telemetry.enabled t.telemetry) then execute_raw t stmt
+  else begin
+    let kind_hist, kind_count = t.kind_handles.(stmt_kind_index stmt) in
+    let record t0 =
+      let dt = Telemetry.Clock.now () -. t0 in
+      Telemetry.observe_handle t.exec_hist dt;
+      Telemetry.observe_handle kind_hist dt;
+      Telemetry.inc_handle kind_count
+    in
+    let t0 = Telemetry.Clock.now () in
+    match execute_raw t stmt with
+    | r ->
+        record t0;
+        r
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        record t0;
+        Printexc.raise_with_backtrace e bt
+  end
 
 let query t q =
   match execute t (A.Select_stmt q) with

@@ -21,6 +21,7 @@ val create :
   ?seed:int ->
   ?bugs:Bug.set ->
   ?coverage:Coverage.t ->
+  ?telemetry:Telemetry.t ->
   Dialect.t ->
   t
 
@@ -35,7 +36,9 @@ val statements_executed : t -> int
 
 (** Execute one statement.  Logic errors come back as [Error]; the
     simulated SEGFAULT propagates as the {!Errors.Crash} exception, like a
-    process crash would. *)
+    process crash would.  With an enabled telemetry registry each
+    statement is timed into [minidb_phase_seconds{phase="execute"}] and
+    [minidb_statement_seconds{kind=...}] (crashing statements included). *)
 val execute : t -> Sqlast.Ast.stmt -> (exec_result, Errors.t) result
 
 (** Convenience: run a query and expect rows. *)

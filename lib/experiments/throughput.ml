@@ -9,9 +9,9 @@
 open Sqlval
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Telemetry.Clock.now () -. t0)
 
 let per_dialect ~queries =
   List.map

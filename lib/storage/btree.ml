@@ -25,10 +25,24 @@ struct
     mutable root : 'v node;
     mutable size : int;
     mutable next_seq : int;
+    (* read-path profiling: cumulative over the tree's lifetime, bumped by
+       [range_walk] only (inserts/deletes are not profiled) *)
+    mutable nodes_visited : int;
+    mutable entries_scanned : int;
   }
 
   let leaf_node entries = { entries; children = [||] }
-  let create () = { root = leaf_node [||]; size = 0; next_seq = 0 }
+
+  let create () =
+    {
+      root = leaf_node [||];
+      size = 0;
+      next_seq = 0;
+      nodes_visited = 0;
+      entries_scanned = 0;
+    }
+
+  let profile t = (t.nodes_visited, t.entries_scanned)
   let length t = t.size
   let is_empty t = t.size = 0
   let is_leaf n = Array.length n.children = 0
@@ -127,6 +141,8 @@ struct
     in
     let rec walk node =
       let n = Array.length node.entries in
+      t.nodes_visited <- t.nodes_visited + 1;
+      t.entries_scanned <- t.entries_scanned + n;
       if is_leaf node then
         Array.iter
           (fun e -> if above_lo e.ukey && below_hi e.ukey then f e)

@@ -50,4 +50,10 @@ end) : sig
       leaf depth); raises [Invalid_argument] on violation.  Used by the
       property-based tests. *)
   val check_invariants : 'v t -> unit
+
+  (** [(nodes_visited, entries_scanned)] accumulated by read-path traversals
+      ({!iter}, {!iter_range}, {!find_all}, …) over the tree's lifetime.
+      Insert/delete rebalancing is not counted.  Telemetry scrapes deltas of
+      these around index operations. *)
+  val profile : 'v t -> int * int
 end

@@ -5,9 +5,19 @@
 type t = {
   mutable rows : (int64, Row.t) Hashtbl.t;
   mutable next_rowid : int64;
+  (* read-path profiling: full scans started and rows they produced *)
+  mutable scans : int;
+  mutable rows_scanned : int;
 }
 
-let create () = { rows = Hashtbl.create 16; next_rowid = 1L }
+let create () =
+  { rows = Hashtbl.create 16; next_rowid = 1L; scans = 0; rows_scanned = 0 }
+
+let profile h = (h.scans, h.rows_scanned)
+
+let note_scan h =
+  h.scans <- h.scans + 1;
+  h.rows_scanned <- h.rows_scanned + Hashtbl.length h.rows
 let row_count h = Hashtbl.length h.rows
 
 let alloc_rowid h =
@@ -36,20 +46,29 @@ let rowids_sorted h =
   Hashtbl.fold (fun id _ acc -> id :: acc) h.rows [] |> List.sort Int64.compare
 
 let iter f h =
+  note_scan h;
   List.iter (fun id -> f (Hashtbl.find h.rows id)) (rowids_sorted h)
 
-let to_list h = List.map (fun id -> Hashtbl.find h.rows id) (rowids_sorted h)
+let to_list h =
+  note_scan h;
+  List.map (fun id -> Hashtbl.find h.rows id) (rowids_sorted h)
 
 let clear h =
   Hashtbl.reset h.rows;
   h.next_rowid <- 1L
 
-let copy h = { rows = Hashtbl.copy h.rows; next_rowid = h.next_rowid }
+let copy h =
+  {
+    rows = Hashtbl.copy h.rows;
+    next_rowid = h.next_rowid;
+    scans = 0;
+    rows_scanned = 0;
+  }
 
 let deep_copy h =
   let rows = Hashtbl.create (Hashtbl.length h.rows) in
   Hashtbl.iter (fun id r -> Hashtbl.replace rows id (Row.copy r)) h.rows;
-  { rows; next_rowid = h.next_rowid }
+  { rows; next_rowid = h.next_rowid; scans = 0; rows_scanned = 0 }
 
 let nth_row h n =
   match List.nth_opt (rowids_sorted h) n with

@@ -8,6 +8,8 @@
 type t = {
   mutable rows : (int64, Row.t) Hashtbl.t;
   mutable next_rowid : int64;
+  mutable scans : int;  (** full scans started (read-path profiling) *)
+  mutable rows_scanned : int;  (** rows those scans produced *)
 }
 
 val create : unit -> t
@@ -42,3 +44,7 @@ val copy : t -> t
 val deep_copy : t -> t
 
 val nth_row : t -> int -> Row.t option
+
+(** [(scans, rows_scanned)] accumulated by {!iter}/{!to_list} over this
+    heap's lifetime; copies start from zero. *)
+val profile : t -> int * int

@@ -101,3 +101,4 @@ let copy t =
   { t with tree }
 
 let check_invariants t = Tree.check_invariants t.tree
+let tree_profile t = Tree.profile t.tree

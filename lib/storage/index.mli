@@ -71,3 +71,8 @@ val clear : t -> unit
 val copy : t -> t
 
 val check_invariants : t -> unit
+
+(** [(nodes_visited, entries_scanned)] of the backing B-tree's read path
+    (see {!Btree.Make.profile}); telemetry scrapes deltas around index
+    operations. *)
+val tree_profile : t -> int * int
