@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint fmt bench telemetry clean
+.PHONY: all build test smoke lint fmt bench telemetry trace clean
 
 all: build
 
@@ -40,6 +40,13 @@ bench:
 # <5% wall-time overhead.  Writes BENCH_telemetry.json.
 telemetry:
 	$(DUNE) exec bench/main.exe -- quick telemetry
+
+# Flight-recorder overhead gate: the same campaign with the ring-buffer
+# recorder on vs the noop sink (interleaved, best-of-6), asserting
+# identical bug sets and a <5% wall-time overhead.  Writes
+# BENCH_trace.json.
+trace:
+	$(DUNE) exec bench/main.exe -- quick trace
 
 clean:
 	$(DUNE) clean

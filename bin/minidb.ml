@@ -4,6 +4,7 @@
      minidb> CREATE TABLE t0(c0 INT);
      minidb> INSERT INTO t0(c0) VALUES (1), (2);
      minidb> SELECT * FROM t0 WHERE c0 > 1;
+     minidb> EXPLAIN ANALYZE SELECT * FROM t0 WHERE c0 > 1;
 
    `.bugs Sq_rtrim_compare_asymmetric,...` re-opens the session with the
    given injected bugs enabled, which makes it easy to reproduce the paper
@@ -56,8 +57,8 @@ let handle_meta session_ref dialect tele line =
 
 let repl dialect metrics =
   Printf.printf
-    "minidb %s — type SQL terminated by ';', or .tables / .bugs <list> / \
-     .quit\n"
+    "minidb %s — type SQL terminated by ';' (EXPLAIN / EXPLAIN ANALYZE \
+     work too), or .tables / .bugs <list> / .quit\n"
     (Sqlval.Dialect.name dialect);
   let tele =
     if metrics = None then Telemetry.noop else Telemetry.create ()

@@ -47,6 +47,24 @@ let print_report ~reduce ~bugs (r : Pqs.Bug_report.t) =
   let r = if reduce then Pqs.Reducer.reduce_report r ~bugs else r in
   Format.printf "%a@." Pqs.Bug_report.pp r
 
+let bundles_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bundles" ] ~docv:"DIR"
+        ~doc:
+          "write a self-contained repro bundle \
+           (repro.sql/bundle.json/trace.json) under DIR for every finding; \
+           replay with $(b,sqlancer replay DIR/bundle-*/repro.sql)")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "with --bundles: also write the full flight-recorder trace of \
+           every Nth healthy round (0 = off)")
+
 (* ---- list-bugs ---- *)
 
 let list_bugs () =
@@ -74,7 +92,7 @@ let list_bugs_cmd =
 
 (* ---- hunt ---- *)
 
-let hunt dialect bug seed queries no_reduce =
+let hunt dialect bug seed queries no_reduce bundles trace_sample =
   let info = Engine.Bug.info bug in
   let dialect =
     if Sqlval.Dialect.equal dialect info.Engine.Bug.dialect then dialect
@@ -86,7 +104,10 @@ let hunt dialect bug seed queries no_reduce =
     end
   in
   let bugs = Engine.Bug.set_of_list [ bug ] in
-  let config = Pqs.Runner.Config.make ~seed ~bugs dialect in
+  let config =
+    Pqs.Runner.Config.make ~seed ~bugs ?bundle_dir:bundles
+      ~trace_sample dialect
+  in
   Printf.printf "hunting %s (%s) with up to %d containment checks...\n%!"
     (Engine.Bug.show bug) info.Engine.Bug.summary queries;
   match Pqs.Runner.hunt config ~max_queries:queries with
@@ -110,7 +131,9 @@ let hunt_cmd =
   in
   Cmd.v
     (Cmd.info "hunt" ~doc:"enable one injected bug and hunt it")
-    Term.(const hunt $ dialect_arg $ bug_arg $ seed_arg $ queries_arg $ no_reduce)
+    Term.(
+      const hunt $ dialect_arg $ bug_arg $ seed_arg $ queries_arg $ no_reduce
+      $ bundles_arg $ trace_sample_arg)
 
 (* ---- run ---- *)
 
@@ -135,7 +158,7 @@ let write_metrics tele = function
       Telemetry.write_file tele path;
       Printf.printf "metrics written to %s\n" path
 
-let run dialect seed queries all_bugs with_lint metrics =
+let run dialect seed queries all_bugs with_lint metrics bundles trace_sample =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
@@ -148,7 +171,8 @@ let run dialect seed queries all_bugs with_lint metrics =
     if metrics = None then Telemetry.noop else Telemetry.create ()
   in
   let config =
-    Pqs.Runner.Config.make ~seed ~bugs ~oracles ~telemetry dialect
+    Pqs.Runner.Config.make ~seed ~bugs ~oracles ~telemetry
+      ?bundle_dir:bundles ~trace_sample dialect
   in
   let stats = Pqs.Runner.run ~max_queries:queries config in
   print_endline (Pqs.Stats.summary stats);
@@ -167,7 +191,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"run the PQS loop and report findings")
     Term.(
       const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs $ lint_arg
-      $ metrics_arg)
+      $ metrics_arg $ bundles_arg $ trace_sample_arg)
 
 (* ---- campaign ---- *)
 
@@ -202,7 +226,7 @@ let funnel_line tele (c : Pqs.Campaign.t) =
     (Pqs.Campaign.statements_per_sec c)
 
 let campaign_run dialect seed databases domains trace chrome_trace all_bugs
-    with_metamorphic with_lint metrics =
+    with_metamorphic with_lint metrics bundles trace_sample =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
@@ -215,7 +239,10 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   (* always enabled for campaigns: the funnel summary comes from it, and
      recording is campaign-neutral (verified by test_telemetry) *)
   let telemetry = Telemetry.create () in
-  let config = Pqs.Runner.Config.make ~bugs ~oracles ~telemetry dialect in
+  let config =
+    Pqs.Runner.Config.make ~bugs ~oracles ~telemetry ?bundle_dir:bundles
+      ~trace_sample dialect
+  in
   let c =
     Pqs.Campaign.run ?domains ?trace ?chrome_trace ~seed_lo:seed
       ~seed_hi:(seed + databases) config
@@ -231,15 +258,25 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   (match chrome_trace with
   | Some path -> Printf.printf "chrome trace written to %s\n" path
   | None -> ());
+  (match bundles with
+  | Some dir ->
+      let n =
+        List.length
+          (List.filter_map
+             (fun (r : Pqs.Bug_report.t) -> r.Pqs.Bug_report.bundle)
+             (Pqs.Campaign.reports c))
+      in
+      Printf.printf "%d repro bundle(s) under %s\n" n dir
+  | None -> ());
   write_metrics telemetry metrics;
   List.iter (print_report ~reduce:true ~bugs) (Pqs.Campaign.reports c);
   if Pqs.Campaign.reports c = [] then 0 else 1
 
 let campaign dialect seed databases domains trace chrome_trace all_bugs
-    with_metamorphic with_lint metrics =
+    with_metamorphic with_lint metrics bundles trace_sample =
   try
     campaign_run dialect seed databases domains trace chrome_trace all_bugs
-      with_metamorphic with_lint metrics
+      with_metamorphic with_lint metrics bundles trace_sample
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -292,7 +329,43 @@ let campaign_cmd =
           merge the results deterministically")
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
-      $ chrome_trace $ all_bugs $ with_metamorphic $ lint_arg $ metrics_arg)
+      $ chrome_trace $ all_bugs $ with_metamorphic $ lint_arg $ metrics_arg
+      $ bundles_arg $ trace_sample_arg)
+
+(* ---- replay ---- *)
+
+let replay files =
+  let results = List.map (fun f -> (f, Pqs.Replay.check_file f)) files in
+  let ok = ref true in
+  List.iter
+    (fun (f, res) ->
+      match res with
+      | Ok o ->
+          if not o.Pqs.Replay.reproduced then ok := false;
+          Printf.printf "%-6s %-16s %s (%s)\n"
+            (if o.Pqs.Replay.reproduced then "OK" else "FAIL")
+            (Pqs.Bug_report.oracle_token o.Pqs.Replay.oracle)
+            f o.Pqs.Replay.detail
+      | Error msg ->
+          ok := false;
+          Printf.printf "%-6s %-16s %s (%s)\n" "BROKEN" "-" f msg)
+    results;
+  if !ok then 0 else 1
+
+let replay_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"REPRO.SQL"
+          ~doc:"repro scripts written by --bundles (bundle-*/repro.sql)")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "replay repro bundles and confirm each oracle verdict reproduces; \
+          exit 0 iff all do")
+    Term.(const replay $ files)
 
 (* ---- lint ---- *)
 
@@ -385,4 +458,5 @@ let () =
             campaign_cmd;
             metamorphic_cmd;
             lint_cmd;
+            replay_cmd;
           ]))

@@ -917,5 +917,6 @@ let check_query env q =
 
 let check_stmt env (stmt : A.stmt) =
   match stmt with
-  | A.Select_stmt q | A.Explain q -> snd (check_query env q)
+  | A.Select_stmt q | A.Explain q | A.Explain_analyze q ->
+      snd (check_query env q)
   | _ -> []

@@ -74,6 +74,8 @@ let run ~max_queries config =
             statements = List.rev !log;
             reduced = None;
             seed = db_seed;
+            phase = "fuzz";
+            bundle = None;
           }
           :: stats.reports
       in

@@ -17,6 +17,25 @@ let oracle_label = function
   | Metamorphic -> "Metamorphic"
   | Lint -> "Lint"
 
+(* stable machine-readable tokens, round-tripped through repro-bundle
+   headers by the replay harness *)
+let oracle_token = function
+  | Containment -> "containment"
+  | Non_containment -> "non_containment"
+  | Error_oracle -> "error"
+  | Crash -> "crash"
+  | Metamorphic -> "metamorphic"
+  | Lint -> "lint"
+
+let oracle_of_token = function
+  | "containment" -> Some Containment
+  | "non_containment" -> Some Non_containment
+  | "error" -> Some Error_oracle
+  | "crash" -> Some Crash
+  | "metamorphic" -> Some Metamorphic
+  | "lint" -> Some Lint
+  | _ -> None
+
 type t = {
   dialect : Dialect.t;
   oracle : oracle;
@@ -24,6 +43,8 @@ type t = {
   statements : Sqlast.Ast.stmt list;
   reduced : Sqlast.Ast.stmt list option;
   seed : int;
+  phase : string;
+  bundle : string option;
 }
 
 let effective_statements t = Option.value ~default:t.statements t.reduced
@@ -34,6 +55,11 @@ let script t =
 let loc t = List.length (effective_statements t)
 
 let pp fmt t =
-  Format.fprintf fmt "[%s/%s] %s (seed %d)@.%s@."
+  Format.fprintf fmt "[%s/%s] %s (seed %d, phase %s)@."
     (Dialect.display_name t.dialect)
-    (oracle_label t.oracle) t.message t.seed (script t)
+    (oracle_label t.oracle) t.message t.seed
+    (if t.phase = "" then "?" else t.phase);
+  (match t.bundle with
+  | Some path -> Format.fprintf fmt "bundle: %s@." path
+  | None -> ());
+  Format.fprintf fmt "%s@." (script t)

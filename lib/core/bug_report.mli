@@ -24,6 +24,13 @@ val equal_oracle : oracle -> oracle -> bool
     names: Contains / Error / SEGFAULT). *)
 val oracle_label : oracle -> string
 
+(** Stable machine-readable token ([containment], [error], [crash], ...)
+    written into repro-bundle headers and parsed back by the replay
+    harness. *)
+val oracle_token : oracle -> string
+
+val oracle_of_token : string -> oracle option
+
 type t = {
   dialect : Dialect.t;
   oracle : oracle;
@@ -32,6 +39,11 @@ type t = {
       (** full reproduction script, the offending statement last *)
   reduced : Sqlast.Ast.stmt list option;  (** after test-case reduction *)
   seed : int;
+  phase : string;
+      (** funnel phase in which the oracle fired ([gen_db],
+          [database_ready], [containment], ...) *)
+  bundle : string option;
+      (** path of the repro bundle's [repro.sql], when one was written *)
 }
 
 val pp : Format.formatter -> t -> unit

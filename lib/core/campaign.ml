@@ -66,17 +66,28 @@ let chrome_events t =
        workers
   @ List.map
       (fun o ->
+        (* round_id matches the flight recorder's [round_seed] (and the
+           bundle-<seed>-* directory names), linking Chrome-trace rounds to
+           trace.json event logs *)
+        let bundles =
+          List.filter_map (fun r -> r.Bug_report.bundle) o.round.Stats.reports
+        in
         Telemetry.Trace.complete
           ~name:(Printf.sprintf "seed %d" o.seed)
           ~cat:"round"
           ~args:
-            [
-              ("seed", Telemetry.Trace.Int o.seed);
-              ("statements", Telemetry.Trace.Int o.round.Stats.statements);
-              ("queries", Telemetry.Trace.Int o.round.Stats.queries);
-              ( "reports",
-                Telemetry.Trace.Int (List.length o.round.Stats.reports) );
-            ]
+            ([
+               ("seed", Telemetry.Trace.Int o.seed);
+               ("round_id", Telemetry.Trace.Int o.seed);
+               ("statements", Telemetry.Trace.Int o.round.Stats.statements);
+               ("queries", Telemetry.Trace.Int o.round.Stats.queries);
+               ( "reports",
+                 Telemetry.Trace.Int (List.length o.round.Stats.reports) );
+             ]
+            @
+            match bundles with
+            | [] -> []
+            | b :: _ -> [ ("bundle", Telemetry.Trace.Str b) ])
           ~ts_us:(o.started *. 1e6) ~dur_us:(o.wall *. 1e6) ~tid:o.worker ())
       t.outcomes
 
@@ -90,6 +101,19 @@ let run ?domains ?trace ?chrome_trace ~seed_lo ~seed_hi
     match domains with
     | Some d -> max 1 d
     | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  (* a round allocates ~170k minor words and everything it allocates —
+     including the event graphs the flight recorder pins in its ring
+     until round end — is dead by the next [begin_round].  With the
+     default 256k-word nursery a minor collection lands mid-round two
+     rounds out of three and promotes those still-reachable graphs to
+     the major heap, which shows up as recorder overhead.  A 2M-word
+     nursery (16 MB/domain) spans ~12 rounds, so almost every round's
+     garbage dies young instead; only ever grown, never shrunk. *)
+  let () =
+    let g = Gc.get () in
+    if g.Gc.minor_heap_size < 1 lsl 21 then
+      Gc.set { g with Gc.minor_heap_size = 1 lsl 21 }
   in
   (* open the trace before spending any compute, so a bad path fails fast *)
   let trace_oc = Option.map open_out trace in
@@ -135,10 +159,12 @@ let run ?domains ?trace ?chrome_trace ~seed_lo ~seed_hi
       if telemetry_enabled then worker_teles.(w) else Telemetry.noop
     in
     let config = Runner.Config.with_telemetry tele config in
+    (* one ring per worker, recycled across its rounds by begin_round *)
+    let recorder = Runner.recorder_for config in
     List.map
       (fun s ->
         let started = Telemetry.Clock.now () -. t0 in
-        let round = Runner.run_round config ~db_seed:s in
+        let round = Runner.run_round ~recorder config ~db_seed:s in
         let wall = Telemetry.Clock.now () -. t0 -. started in
         Telemetry.observe tele "pqs_round_seconds" wall;
         Telemetry.inc tele "pqs_rounds_total";

@@ -59,7 +59,7 @@ let expected dialect (stmt : A.stmt) : E.code list =
   | A.Create_statistics _ -> [ E.Object_exists; E.Syntax_error ]
   | A.Discard_all -> [ E.Syntax_error ]
   | A.Begin_txn | A.Commit_txn | A.Rollback_txn -> [ E.Txn_state ]
-  | A.Explain _ -> [ E.Syntax_error ] @ v
+  | A.Explain _ | A.Explain_analyze _ -> [ E.Syntax_error ] @ v
 
 let is_expected dialect stmt (err : E.t) =
   match E.severity err with

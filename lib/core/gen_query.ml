@@ -7,6 +7,7 @@ type t = {
   query : A.select;
   expected_row : Value.t list;
   raw_truths : Tvl.t list;
+  provenance : (A.expr * Tvl.t * A.expr) list;
 }
 
 let synthesize ?(rectify = true) ?(target = Tvl.True)
@@ -70,6 +71,7 @@ let synthesize ?(rectify = true) ?(target = Tvl.True)
   (* one rectified condition for WHERE; with two tables, optionally a second
      one as a JOIN ON condition *)
   let truths = ref [] in
+  let prov = ref [] in
   let one_condition raw =
     if rectify then
       let rectifier =
@@ -79,6 +81,7 @@ let synthesize ?(rectify = true) ?(target = Tvl.True)
       in
       let* c, t = rectifier ~telemetry env raw in
       truths := t :: !truths;
+      prov := (raw, t, c) :: !prov;
       Ok c
     else
       (* no-rectification ablation: use the raw condition *)
@@ -86,6 +89,7 @@ let synthesize ?(rectify = true) ?(target = Tvl.True)
         Telemetry.Span.timed telemetry Telemetry.Phase.Interp (fun () -> Interp.eval_tvl env raw)
       in
       truths := t :: !truths;
+      prov := (raw, t, raw) :: !prov;
       Ok raw
   in
   let condition () =
@@ -220,7 +224,13 @@ let synthesize ?(rectify = true) ?(target = Tvl.True)
       sel_offset = None;
     }
   in
-  Ok { query; expected_row = List.map snd targets; raw_truths = !truths }
+  Ok
+    {
+      query;
+      expected_row = List.map snd targets;
+      raw_truths = !truths;
+      provenance = !prov;
+    }
 
 let containment_stmt t =
   let values_row = List.map (fun v -> A.Lit v) t.expected_row in

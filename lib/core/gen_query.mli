@@ -16,6 +16,10 @@ type t = {
       (** the pivot's values for the selected targets *)
   raw_truths : Tvl.t list;
       (** truth values of the raw conditions before rectification *)
+  provenance : (Sqlast.Ast.expr * Tvl.t * Sqlast.Ast.expr) list;
+      (** per-condition [(raw, verdict, rectified)] triples, same order as
+          [raw_truths]; the flight recorder turns these into [Expr]
+          events *)
 }
 
 (** Synthesize a query over the pivot tables whose result set must contain

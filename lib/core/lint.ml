@@ -157,7 +157,7 @@ let verdict_of diags =
 let analyze ctx (stmt : A.stmt) =
   let session = ctx.Oracle.ctx_session in
   match stmt with
-  | A.Select_stmt q | A.Explain q ->
+  | A.Select_stmt q | A.Explain q | A.Explain_analyze q ->
       Telemetry.Span.timed ctx.Oracle.ctx_telemetry Telemetry.Phase.Lint (fun () ->
           let tdiags = check_stmt session stmt in
           let pdiags =
@@ -271,7 +271,7 @@ let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
             let tdiags = check_stmt session stmt in
             let pdiags =
               match stmt with
-              | A.Select_stmt q | A.Explain q ->
+              | A.Select_stmt q | A.Explain q | A.Explain_analyze q ->
                   plans := !plans + List.length (scan_sites session q []);
                   lint_plans session q
               | _ -> []

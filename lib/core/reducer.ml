@@ -178,4 +178,14 @@ let reduce_report (report : Bug_report.t) ~bugs =
       ~oracle:report.Bug_report.oracle
   in
   let reduced = reduce check report.Bug_report.statements in
+  (* keep the repro bundle in sync: its script is re-derived from the
+     minimized statements (header preserved, [-- reduced: true] added) *)
+  (match report.Bug_report.bundle with
+  | Some sql_path when List.length reduced < List.length report.Bug_report.statements
+    -> (
+      try
+        Trace.Bundle.rewrite_script ~sql_path
+          ~dialect:report.Bug_report.dialect reduced
+      with Sys_error _ -> ())
+  | _ -> ());
   { report with Bug_report.reduced = Some reduced }

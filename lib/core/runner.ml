@@ -19,6 +19,13 @@ module Config = struct
     check_non_containment : bool;
     oracles : Oracle.t list;
     telemetry : Telemetry.t;
+    trace : bool;  (** flight-record every round even when nothing fires *)
+    trace_capacity : int;
+    bundle_dir : string option;
+        (** where repro bundles are written when an oracle fires *)
+    trace_sample : int;
+        (** also dump full traces of every Nth healthy round (0 = off);
+            requires [bundle_dir] *)
   }
 
   let make ?(bugs = Engine.Bug.empty_set) ?(seed = 1) ?(table_count = 2)
@@ -26,7 +33,8 @@ module Config = struct
       ?(queries_per_pivot = 6) ?(max_depth = 4) ?(check_expressions = true)
       ?(verify_ground_truth = true) ?(rectify = true) ?coverage
       ?(check_non_containment = true) ?(oracles = Oracle.defaults)
-      ?(telemetry = Telemetry.noop) dialect =
+      ?(telemetry = Telemetry.noop) ?(trace = false) ?(trace_capacity = 1024)
+      ?bundle_dir ?(trace_sample = 0) dialect =
     {
       dialect;
       bugs;
@@ -44,12 +52,19 @@ module Config = struct
       check_non_containment;
       oracles;
       telemetry;
+      trace;
+      trace_capacity;
+      bundle_dir;
+      trace_sample;
     }
 
   let with_seed seed t = { t with seed }
   let with_oracles oracles t = { t with oracles }
   let with_coverage coverage t = { t with coverage }
   let with_telemetry telemetry t = { t with telemetry }
+  let with_trace trace t = { t with trace }
+  let with_bundle_dir bundle_dir t = { t with bundle_dir }
+  let with_trace_sample trace_sample t = { t with trace_sample }
 end
 
 type config = Config.t
@@ -104,14 +119,27 @@ let confirm_report (config : Config.t) kind script =
   | Bug_report.Lint ->
       true
 
-let run_round (config : Config.t) ~db_seed : Stats.t =
+(* flight recorder: enabled when tracing is requested or when repro
+   bundles / trace samples may need to be written; otherwise the noop
+   sink (one branch per record) rides along for free *)
+let recorder_for (config : Config.t) =
+  let open Config in
+  if config.trace || config.bundle_dir <> None || config.trace_sample > 0 then
+    Trace.create ~capacity:config.trace_capacity ()
+  else Trace.noop
+
+let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
   let open Config in
   let tele = config.telemetry in
   let stats = ref { Stats.empty with Stats.databases = 1 } in
   let rng = Rng.make ~seed:db_seed in
+  let recorder =
+    match recorder with Some r -> r | None -> recorder_for config
+  in
+  Trace.begin_round recorder ~seed:db_seed ~dialect:config.dialect;
   let session =
     Engine.Session.create ~seed:db_seed ~bugs:config.bugs
-      ?coverage:config.coverage ~telemetry:tele config.dialect
+      ?coverage:config.coverage ~telemetry:tele ~recorder config.dialect
   in
   let ctx =
     {
@@ -124,20 +152,58 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
     }
   in
   let log = ref [] in
+  (* the funnel phase the round is currently in; stamped into reports and
+     repro bundles so triage starts from where the oracle fired *)
+  let phase = ref "gen_db" in
   (* whether the static-analysis self-check oracle participates; its
      observations are counted so campaign summaries show coverage *)
   let lint_enabled =
     List.exists (fun o -> String.equal (Oracle.name o) "lint") config.oracles
   in
-  let record kind message =
+  let record ?expected ?actual kind message =
+    let stmts = List.rev !log in
+    Trace.record recorder
+      (Trace.Event.Oracle_fired
+         { oracle = Bug_report.oracle_token kind; message; phase = !phase });
+    let bundle =
+      match config.bundle_dir with
+      | Some dir when Trace.enabled recorder -> (
+          let plan =
+            match !log with
+            | A.Select_stmt stmt_q :: _ ->
+                Engine.Session.plan_lines session stmt_q
+            | _ -> []
+          in
+          let b =
+            {
+              Trace.Bundle.b_seed = db_seed;
+              b_dialect = config.dialect;
+              b_oracle = Bug_report.oracle_token kind;
+              b_message = message;
+              b_phase = !phase;
+              b_bugs =
+                List.map Engine.Bug.show (Engine.Bug.to_list config.bugs);
+              b_statements = stmts;
+              b_expected = expected;
+              b_actual = actual;
+              b_plan = plan;
+              b_trace_json = Trace.to_json recorder;
+            }
+          in
+          try Some (Trace.Bundle.write ~dir b)
+          with Sys_error _ | Unix.Unix_error (_, _, _) -> None)
+      | _ -> None
+    in
     let r =
       {
         Bug_report.dialect = config.dialect;
         oracle = kind;
         message;
-        statements = List.rev !log;
+        statements = stmts;
         reduced = None;
         seed = db_seed;
+        phase = !phase;
+        bundle;
       }
     in
     (match kind with
@@ -154,15 +220,35 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
   let dispatch event = Oracle.first_report config.oracles ctx event in
   (* execute one statement under the statement-level oracles; returns a
      report if one fired *)
+  (* mirror an engine outcome into a flight-recorder statement event *)
+  let trace_stmt stmt outcome t0 =
+    if Trace.enabled recorder then begin
+      let now = Telemetry.Clock.now_ns_int () in
+      let oc =
+        match outcome with
+        | Oracle.Succeeded (Engine.Session.Rows rs) ->
+            Trace.Event.Rows (List.length rs.Engine.Executor.rs_rows)
+        | Oracle.Succeeded (Engine.Session.Affected n) ->
+            Trace.Event.Affected n
+        | Oracle.Succeeded Engine.Session.Done -> Trace.Event.Done
+        | Oracle.Failed e -> Trace.Event.Error e.Engine.Errors.message
+        | Oracle.Crashed msg -> Trace.Event.Crashed msg
+      in
+      Trace.record_at recorder ~now_ns:now
+        (Trace.Event.Statement { stmt; outcome = oc; dur_ns = now - t0 })
+    end
+  in
   let exec stmt : Bug_report.t option =
     log := stmt :: !log;
     stats := { !stats with Stats.statements = (!stats).Stats.statements + 1 };
+    let t0 = if Trace.enabled recorder then Telemetry.Clock.now_ns_int () else 0 in
     let outcome =
       match Engine.Session.execute session stmt with
       | Ok r -> Oracle.Succeeded r
       | Error e -> Oracle.Failed e
       | exception Engine.Errors.Crash msg -> Oracle.Crashed msg
     in
+    trace_stmt stmt outcome t0;
     match dispatch (Oracle.Statement (stmt, outcome)) with
     | Some (kind, message) -> record kind message
     | None -> None
@@ -221,10 +307,12 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
     match generation () with
     | Some r -> Some r
     | None -> (
+        phase := "database_ready";
         (* whole-database oracles (e.g. metamorphic partition checks) *)
         match dispatch Oracle.Database_ready with
         | Some (kind, message) -> record kind message
         | None ->
+            phase := "containment";
             (* ---- steps 2-7 ---- *)
             let pivot_sources () =
               Telemetry.Span.timed tele Telemetry.Phase.Pivot @@ fun () ->
@@ -277,6 +365,18 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                           (ti, Rng.pick rng rows))
                         chosen
                     in
+                    if Trace.enabled recorder then
+                      List.iter
+                        (fun ((ti : Schema_info.table_info), row) ->
+                          Trace.record recorder
+                            (Trace.Event.Pivot
+                               {
+                                 source = ti.Schema_info.ti_name;
+                                 row =
+                                   Array.to_list
+                                     (Array.map Value.to_sql_literal row);
+                               }))
+                        pivot;
                     let csl =
                       Engine.Options.case_sensitive_like
                         (Engine.Session.options session)
@@ -331,6 +431,13 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                         match attempt 5 with
                         | None -> queries (q - 1)
                         | Some t -> (
+                            if Trace.enabled recorder then
+                              List.iter
+                                (fun (raw, verdict, rectified) ->
+                                  Trace.record recorder
+                                    (Trace.Event.Expr
+                                       { raw; verdict; rectified }))
+                                (List.rev t.Gen_query.provenance);
                             stats :=
                               {
                                 !stats with
@@ -357,6 +464,11 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                             in
                             (* the span must cover only the engine call, not
                                the recursive continuation below *)
+                            let ct0 =
+                              if Trace.enabled recorder then
+                                Telemetry.Clock.now_ns_int ()
+                              else 0
+                            in
                             let outcome =
                               Telemetry.Span.timed tele Telemetry.Phase.Containment
                                 (fun () ->
@@ -367,6 +479,12 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                                   | exception Engine.Errors.Crash msg ->
                                       `Crash msg)
                             in
+                            trace_stmt stmt
+                              (match outcome with
+                              | `Res (Ok r) -> Oracle.Succeeded r
+                              | `Res (Error e) -> Oracle.Failed e
+                              | `Crash msg -> Oracle.Crashed msg)
+                              ct0;
                             match outcome with
                             | `Res (Ok (Engine.Session.Rows rs)) -> (
                                 let pivot_found =
@@ -392,7 +510,27 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
                                     if
                                       confirm_report config kind
                                         (List.rev !log)
-                                    then record kind message
+                                    then
+                                      let expected =
+                                        "("
+                                        ^ String.concat ", "
+                                            (List.map Value.to_sql_literal
+                                               t.Gen_query.expected_row)
+                                        ^ ")"
+                                      in
+                                      let actual =
+                                        String.concat "; "
+                                          (List.map
+                                             (fun r ->
+                                               "("
+                                               ^ String.concat ", "
+                                                   (Array.to_list
+                                                      (Array.map
+                                                         Value.to_sql_literal r))
+                                               ^ ")")
+                                             rs.Engine.Executor.rs_rows)
+                                      in
+                                      record ~expected ~actual kind message
                                     else begin
                                       stats :=
                                         {
@@ -431,7 +569,22 @@ let run_round (config : Config.t) ~db_seed : Stats.t =
             in
             pivots config.pivots_per_db)
   in
-  ignore (round () : Bug_report.t option);
+  let fired = round () in
+  (* --trace-sample N: keep the full trace of every Nth healthy round, so
+     there is flight-recorder data to compare bundles against *)
+  (match (fired, config.bundle_dir) with
+  | None, Some dir
+    when config.trace_sample > 0
+         && db_seed mod config.trace_sample = 0
+         && Trace.enabled recorder -> (
+      try
+        Trace.mkdir_p dir;
+        Trace.write_text
+          (Filename.concat dir
+             (Printf.sprintf "round-%06d-trace.json" db_seed))
+          (Trace.to_json recorder)
+      with Sys_error _ | Unix.Unix_error (_, _, _) -> ())
+  | _ -> ());
   (* volume counters are bulk-incremented from the round's [Stats] rather
      than one [inc] per statement: same exported totals, no per-statement
      registry traffic on the hot path *)
@@ -445,13 +598,14 @@ let run ?(stop_on_first = false) ~max_queries config =
   (* databases are also capped so rounds that never reach the query stage
      (e.g. generation keeps erroring) terminate *)
   let max_databases = max 50 max_queries in
+  let recorder = recorder_for config in
   let rec go acc i =
     if
       acc.Stats.queries >= max_queries || acc.Stats.databases >= max_databases
     then acc
     else
       let round =
-        run_round config ~db_seed:(config.Config.seed + (i * 7919))
+        run_round ~recorder config ~db_seed:(config.Config.seed + (i * 7919))
       in
       let acc = Stats.merge acc round in
       if stop_on_first && round.Stats.reports <> [] then acc else go acc (i + 1)

@@ -44,6 +44,21 @@ module Config : sig
             {!Telemetry.noop} (zero-cost) by default.  Recording never
             draws randomness or changes control flow, so enabling it is
             campaign-neutral. *)
+    trace : bool;
+        (** flight-record every round into a ring buffer even when no
+            oracle fires; implied by [bundle_dir] / [trace_sample].  Like
+            telemetry, tracing is campaign-neutral (asserted by
+            [make trace]). *)
+    trace_capacity : int;  (** ring size in events (default 1024) *)
+    bundle_dir : string option;
+        (** when set, every oracle finding drains the flight recorder into
+            a self-contained repro bundle
+            [<dir>/bundle-<seed>-<oracle>/{repro.sql,bundle.json,trace.json}]
+            and the report's [bundle] field points at the [repro.sql] *)
+    trace_sample : int;
+        (** with [bundle_dir]: also write [round-<seed>-trace.json] for
+            every Nth healthy round (0 = off) — baseline traces to compare
+            failing rounds against *)
   }
 
   val make :
@@ -62,6 +77,10 @@ module Config : sig
     ?check_non_containment:bool ->
     ?oracles:Oracle.t list ->
     ?telemetry:Telemetry.t ->
+    ?trace:bool ->
+    ?trace_capacity:int ->
+    ?bundle_dir:string ->
+    ?trace_sample:int ->
     Sqlval.Dialect.t ->
     t
 
@@ -78,6 +97,15 @@ module Config : sig
   (** Swap the telemetry registry — campaigns give each worker its own
       and merge afterwards, like coverage. *)
   val with_telemetry : Telemetry.t -> t -> t
+
+  (** Toggle always-on flight recording. *)
+  val with_trace : bool -> t -> t
+
+  (** Point repro-bundle output at a directory (or disable with [None]). *)
+  val with_bundle_dir : string option -> t -> t
+
+  (** Set the healthy-round trace sampling period (0 = off). *)
+  val with_trace_sample : int -> t -> t
 end
 
 type config = Config.t
@@ -85,13 +113,23 @@ type config = Config.t
 type stats = Stats.t
 (** Alias kept for readability of older call sites; see {!Stats}. *)
 
+(** The flight recorder a round under [config] needs: a ring buffer when
+    tracing, bundle output or trace sampling is on, {!Trace.noop}
+    otherwise.  Long-running drivers should create one per worker and
+    thread it through {!run_round} so the ring is allocated once and
+    recycled by [Trace.begin_round], instead of churning a fresh array
+    every round. *)
+val recorder_for : config -> Trace.t
+
 (** Run one complete database round on a fresh session seeded with
     [db_seed]: generation, pivots and containment checks.  Returns the
     round's statistics; the round stops at its first finding, so
     [(run_round c ~db_seed).reports] has at most one element.  This is the
     deterministic unit of work campaigns shard across workers: the result
-    depends only on [config] and [db_seed]. *)
-val run_round : config -> db_seed:int -> Stats.t
+    depends only on [config] and [db_seed].  [recorder] supplies a reused
+    flight recorder (see {!recorder_for}); when omitted the round creates
+    its own.  Recording never changes the round's outcome. *)
+val run_round : ?recorder:Trace.t -> config -> db_seed:int -> Stats.t
 
 (** Run rounds until [max_queries] containment checks were issued or a
     finding occurred [stop_on_first] (database seeds derive from

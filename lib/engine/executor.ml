@@ -58,7 +58,53 @@ type ctx = {
   catalog : Storage.Catalog.t;
   telemetry : Telemetry.t;
   profile : profile;
+  recorder : Trace.t;
+      (* flight recorder: planner decisions and per-operator annotations
+         stream into it when enabled (runner rounds, EXPLAIN ANALYZE) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder operator annotations.  All call sites are guarded on
+   [tracing ctx] so the disabled path costs one branch and never calls
+   the clock or counts rows. *)
+
+let tracing ctx = Trace.enabled ctx.recorder
+let op_clock ctx = if tracing ctx then Telemetry.Clock.now_ns_int () else 0
+
+let op_event ctx ~op ?(detail = "") ~rows_in ~rows_out ?(btree = (0, 0)) ~t0 ()
+    =
+  if tracing ctx then begin
+    let now = Telemetry.Clock.now_ns_int () in
+    Trace.record_at ctx.recorder ~now_ns:now
+      (Trace.Event.Op
+         {
+           op;
+           detail;
+           rows_in;
+           rows_out;
+           btree_nodes = fst btree;
+           btree_entries = snd btree;
+           dur_ns = now - t0;
+         })
+  end
+
+(* indexes a path reads, for charging B-tree visits to the scan operator *)
+let rec path_indexes = function
+  | Planner.Full_scan -> []
+  | Planner.Index_eq { index; _ }
+  | Planner.Index_range { index; _ }
+  | Planner.Index_like_prefix { index; _ }
+  | Planner.Partial_index_scan { index }
+  | Planner.Skip_scan { index } ->
+      [ index ]
+  | Planner.Or_union paths -> List.concat_map path_indexes paths
+
+let path_btree_profile path =
+  List.fold_left
+    (fun (n, e) ix ->
+      let n', e' = Storage.Index.tree_profile ix in
+      (n + n', e + e'))
+    (0, 0) (path_indexes path)
 
 type result_set = { rs_columns : string list; rs_rows : Value.t array list }
 
@@ -451,6 +497,16 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
             let used_skip_scan =
               match path with Planner.Skip_scan _ -> true | _ -> false
             in
+            let shown_path =
+              if tracing ctx then Planner.show_path path else ""
+            in
+            if tracing ctx && not fctx.in_join then
+              Trace.record ctx.recorder
+                (Trace.Event.Plan { table = alias_name; path = shown_path });
+            let scan_t0 = op_clock ctx in
+            let scan_b0 =
+              if tracing ctx then path_btree_profile path else (0, 0)
+            in
             let full_scan () =
               match pk_index_of ctx schema with
               | Some pk when schema.Storage.Schema.without_rowid ->
@@ -489,12 +545,22 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
                   [ binding_of_table sch ~alias:alias_name row.Storage.Row.values ])
                 rows
             in
+            if tracing ctx then begin
+              let b1 = path_btree_profile path in
+              op_event ctx ~op:"SCAN"
+                ~detail:(alias_name ^ " USING " ^ shown_path)
+                ~rows_in:(Storage.Heap.row_count ts.Storage.Catalog.heap)
+                ~rows_out:(List.length rows)
+                ~btree:(fst b1 - fst scan_b0, snd b1 - snd scan_b0)
+                ~t0:scan_t0 ()
+            end;
             Ok { tuples; used_skip_scan }
           end
       | None -> (
           match Storage.Catalog.find_view ctx.catalog name with
           | Some v ->
               cov ctx "exec.view_expand";
+              let view_t0 = op_clock ctx in
               let* rs = run_query ctx v.Storage.Catalog.view_query in
               let rows =
                 (* injected: WHERE pushdown into a DISTINCT view drops the
@@ -533,6 +599,10 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
                     ])
                   rows
               in
+              if tracing ctx then
+                op_event ctx ~op:"VIEW" ~detail:alias_name
+                  ~rows_in:(List.length rs.rs_rows)
+                  ~rows_out:(List.length rows) ~t0:view_t0 ();
               Ok { tuples; used_skip_scan = false }
           | None ->
               Error
@@ -541,6 +611,7 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
       (* derived table: materialize the subquery; columns are untyped and
          binary-collated, like a view expansion *)
       cov ctx "exec.subquery";
+      let sub_t0 = op_clock ctx in
       let* rs = run_query ctx sub in
       let columns =
         Array.of_list
@@ -561,6 +632,10 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
             ])
           rs.rs_rows
       in
+      (if tracing ctx then
+         let n = List.length rs.rs_rows in
+         op_event ctx ~op:"SUBQUERY" ~detail:alias ~rows_in:n ~rows_out:n
+           ~t0:sub_t0 ());
       Ok { tuples; used_skip_scan = false }
   | A.F_join { kind; left; right; on } ->
       (match kind with
@@ -569,6 +644,7 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
       | A.Cross -> cov ctx "exec.join_cross");
       let* l = from_tuples ctx fctx ~where:None left in
       let* r = from_tuples ctx fctx ~where:None right in
+      let join_t0 = op_clock ctx in
       (* a NULL-padded binding per table of the right side: taken from the
          first right tuple, or built from the schemas when it is empty *)
       let rec null_shape item =
@@ -625,6 +701,15 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
             combine (List.rev_append produced acc) rest
       in
       let* tuples = combine [] l.tuples in
+      if tracing ctx then
+        op_event ctx ~op:"JOIN"
+          ~detail:
+            (match kind with
+            | A.Inner -> "INNER"
+            | A.Left -> "LEFT"
+            | A.Cross -> "CROSS")
+          ~rows_in:(List.length l.tuples + List.length r.tuples)
+          ~rows_out:(List.length tuples) ~t0:join_t0 ();
       Ok
         {
           tuples;
@@ -931,6 +1016,7 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
             first.tuples rest
     in
     (* WHERE *)
+    let filter_t0 = op_clock ctx in
     let* filtered =
       match where with
       | None -> Ok tuples
@@ -945,6 +1031,10 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
           in
           go [] tuples
     in
+    if tracing ctx && where <> None then
+      op_event ctx ~op:"FILTER" ~detail:"WHERE"
+        ~rows_in:(List.length tuples)
+        ~rows_out:(List.length filtered) ~t0:filter_t0 ();
     let sample_bindings =
       match filtered with
       | t :: _ -> t
@@ -952,6 +1042,7 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
     in
     let* columns = output_columns ctx sample_bindings s.A.sel_items in
     (* GROUP BY / aggregation *)
+    let agg_t0 = op_clock ctx in
     let* out_rows_with_keys =
       if select_has_agg s then begin
         cov ctx "exec.group_by";
@@ -1002,12 +1093,25 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
         in
         go [] filtered
     in
+    if tracing ctx && select_has_agg s then
+      op_event ctx ~op:"AGGREGATE"
+        ~detail:(if s.A.sel_group_by = [] then "" else "GROUP BY")
+        ~rows_in:(List.length filtered)
+        ~rows_out:(List.length out_rows_with_keys) ~t0:agg_t0 ();
     (* DISTINCT *)
     ignore used_skip_scan;
     let out_rows_with_keys =
       if s.A.sel_distinct then begin
         cov ctx "exec.distinct";
-        dedup_by ~key:(fun (row, _) -> row_key row) out_rows_with_keys
+        let d_t0 = op_clock ctx in
+        let n_in = if tracing ctx then List.length out_rows_with_keys else 0 in
+        let deduped =
+          dedup_by ~key:(fun (row, _) -> row_key row) out_rows_with_keys
+        in
+        if tracing ctx then
+          op_event ctx ~op:"DISTINCT" ~rows_in:n_in
+            ~rows_out:(List.length deduped) ~t0:d_t0 ();
+        deduped
       end
       else out_rows_with_keys
     in
@@ -1019,6 +1123,7 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
         else out_rows_with_keys
       else begin
         cov ctx "exec.order_by";
+        let sort_t0 = op_clock ctx in
         (* sort keys are compared under each ORDER BY expression's
            collation (explicit COLLATE or the column's), like sqlite *)
         let dirs_and_colls =
@@ -1047,10 +1152,19 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
             in
             cmp ka kb dirs_and_colls)
           out_rows_with_keys
+        |> fun sorted ->
+        (if tracing ctx then
+           let n = List.length sorted in
+           op_event ctx ~op:"SORT"
+             ~detail:(Printf.sprintf "%d keys" (List.length s.A.sel_order_by))
+             ~rows_in:n ~rows_out:n ~t0:sort_t0 ());
+        sorted
       end
     in
     (* LIMIT / OFFSET *)
+    let limit_t0 = op_clock ctx in
     let rows = List.map fst ordered in
+    let pre_limit = if tracing ctx then List.length rows else 0 in
     let rows =
       match s.A.sel_offset with
       | None -> rows
@@ -1068,6 +1182,9 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
           let n = Int64.to_int n in
           if n < 0 then rows else List.filteri (fun i _ -> i < n) rows
     in
+    if tracing ctx && (s.A.sel_limit <> None || s.A.sel_offset <> None) then
+      op_event ctx ~op:"LIMIT" ~rows_in:pre_limit
+        ~rows_out:(List.length rows) ~t0:limit_t0 ();
     Ok { rs_columns = columns; rs_rows = rows }
   end
 
@@ -1215,6 +1332,7 @@ and run_query ctx (q : A.query) : (result_set, Errors.t) result =
           | A.Except -> cov ctx "exec.compound_except");
           let* ra = run_query ctx qa in
           let* rb = run_query ctx qb in
+          let compound_t0 = op_clock ctx in
           let wa = List.length ra.rs_columns and wb = List.length rb.rs_columns in
           if wa <> wb then
             Error
@@ -1242,4 +1360,14 @@ and run_query ctx (q : A.query) : (result_set, Errors.t) result =
                        (fun r -> not (Hashtbl.mem inb (row_key r)))
                        ra.rs_rows)
             in
+            if tracing ctx then
+              op_event ctx ~op:"COMPOUND"
+                ~detail:
+                  (match op with
+                  | A.Union -> "UNION"
+                  | A.Union_all -> "UNION ALL"
+                  | A.Intersect -> "INTERSECT"
+                  | A.Except -> "EXCEPT")
+                ~rows_in:(List.length ra.rs_rows + List.length rb.rs_rows)
+                ~rows_out:(List.length rows) ~t0:compound_t0 ();
             Ok { rs_columns = ra.rs_columns; rs_rows = rows })

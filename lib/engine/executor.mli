@@ -25,6 +25,9 @@ type ctx = {
   catalog : Storage.Catalog.t;
   telemetry : Telemetry.t;  (** {!Telemetry.noop} unless profiling *)
   profile : profile;
+  recorder : Trace.t;
+      (** flight recorder for plan/operator events; {!Trace.noop} unless a
+          round is being traced *)
 }
 
 type result_set = { rs_columns : string list; rs_rows : Value.t array list }

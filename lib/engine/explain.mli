@@ -19,3 +19,13 @@ val run :
   Sqlast.Ast.query ->
   (Executor.result_set, Errors.t) result
 (** Execute [EXPLAIN q]: a one-column result set of {!query_lines}. *)
+
+val run_analyze :
+  Executor.ctx ->
+  Sqlast.Ast.query ->
+  (Executor.result_set, Errors.t) result
+(** Execute [EXPLAIN ANALYZE q]: really runs the query under a private
+    flight recorder and renders each operator event as an annotated plan
+    line — rows in/out, B-tree node/entry visits, wall time — ending with
+    a [RESULT (rows=…, total=…)] summary.  Errors from the underlying
+    query pass through. *)

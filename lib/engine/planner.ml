@@ -16,26 +16,23 @@ type path =
   | Skip_scan of { index : Storage.Index.t }
   | Or_union of path list
 
-let rec pp_path fmt = function
-  | Full_scan -> Format.pp_print_string fmt "full-scan"
+(* plain string building, no Format: the flight recorder renders a path
+   per traced scan, so this sits on the tracing hot path *)
+let rec show_path = function
+  | Full_scan -> "full-scan"
   | Index_eq { index; _ } ->
-      Format.fprintf fmt "index-eq(%s)" index.Storage.Index.index_name
+      "index-eq(" ^ index.Storage.Index.index_name ^ ")"
   | Index_range { index; _ } ->
-      Format.fprintf fmt "index-range(%s)" index.Storage.Index.index_name
+      "index-range(" ^ index.Storage.Index.index_name ^ ")"
   | Index_like_prefix { index; prefix } ->
-      Format.fprintf fmt "index-like(%s,%S)" index.Storage.Index.index_name prefix
+      Printf.sprintf "index-like(%s,%S)" index.Storage.Index.index_name prefix
   | Partial_index_scan { index } ->
-      Format.fprintf fmt "partial-index(%s)" index.Storage.Index.index_name
+      "partial-index(" ^ index.Storage.Index.index_name ^ ")"
   | Skip_scan { index } ->
-      Format.fprintf fmt "skip-scan(%s)" index.Storage.Index.index_name
-  | Or_union ps ->
-      Format.fprintf fmt "or-union(%a)"
-        (Format.pp_print_list
-           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
-           pp_path)
-        ps
+      "skip-scan(" ^ index.Storage.Index.index_name ^ ")"
+  | Or_union ps -> "or-union(" ^ String.concat "," (List.map show_path ps) ^ ")"
 
-let show_path p = Format.asprintf "%a" pp_path p
+let pp_path fmt p = Format.pp_print_string fmt (show_path p)
 
 let label = function
   | Full_scan -> "full_scan"

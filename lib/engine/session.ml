@@ -15,6 +15,7 @@ type t = {
   options : Options.t;
   coverage : Coverage.t option;
   telemetry : Telemetry.t;
+  recorder : Trace.t;
   exec_hist : Telemetry.histogram_handle;
   kind_handles :
     (Telemetry.histogram_handle * Telemetry.counter_handle) array;
@@ -35,7 +36,7 @@ let pp_exec_result fmt = function
   | Done -> Format.pp_print_string fmt "ok"
 
 let create ?(seed = 42) ?(bugs = Bug.empty_set) ?coverage
-    ?(telemetry = Telemetry.noop) dialect =
+    ?(telemetry = Telemetry.noop) ?(recorder = Trace.noop) dialect =
   {
     dialect;
     catalog = Storage.Catalog.create ();
@@ -43,6 +44,7 @@ let create ?(seed = 42) ?(bugs = Bug.empty_set) ?coverage
     options = Options.create dialect;
     coverage;
     telemetry;
+    recorder;
     exec_hist =
       Telemetry.histogram_handle telemetry
         ~labels:[ ("phase", "execute") ]
@@ -78,6 +80,7 @@ let ctx t : Executor.ctx =
     catalog = t.catalog;
     telemetry = t.telemetry;
     profile = t.profile;
+    recorder = t.recorder;
   }
 
 let table_names t = Storage.Catalog.table_names t.catalog
@@ -99,7 +102,7 @@ let touches_data = function
   | A.Drop_index _ | A.Reindex _ | A.Create_view _ | A.Drop_view _
   | A.Insert _ | A.Update _ | A.Delete _ | A.Select_stmt _ | A.Vacuum _
   | A.Analyze _ | A.Check_table _ | A.Repair_table _ | A.Create_statistics _
-  | A.Explain _ ->
+  | A.Explain _ | A.Explain_analyze _ ->
       true
 
 let set_option t ~global ~name ~value =
@@ -153,7 +156,7 @@ let stmt_kind_index = function
   | A.Drop_index _ | A.Create_view _ | A.Drop_view _ ->
       4
   | A.Begin_txn | A.Commit_txn | A.Rollback_txn -> 5
-  | A.Explain _ -> 6
+  | A.Explain _ | A.Explain_analyze _ -> 6
   | A.Reindex _ | A.Vacuum _ | A.Analyze _ | A.Check_table _
   | A.Repair_table _ | A.Create_statistics _ | A.Discard_all | A.Set_option _
   | A.Pragma _ ->
@@ -249,6 +252,10 @@ let execute_raw t (stmt : A.stmt) : (exec_result, Errors.t) result =
       cov t "admin.explain";
       let* rs = Explain.run c q in
       Ok (Rows rs)
+  | A.Explain_analyze q ->
+      cov t "admin.explain_analyze";
+      let* rs = Explain.run_analyze c q in
+      Ok (Rows rs)
   | A.Rollback_txn -> (
       cov t "maint.rollback";
       match t.txn_snapshot with
@@ -283,6 +290,8 @@ let execute t (stmt : A.stmt) : (exec_result, Errors.t) result =
         record t0;
         Printexc.raise_with_backtrace e bt
   end
+
+let plan_lines t q = Explain.query_lines (ctx t) q
 
 let query t q =
   match execute t (A.Select_stmt q) with

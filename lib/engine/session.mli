@@ -22,8 +22,14 @@ val create :
   ?bugs:Bug.set ->
   ?coverage:Coverage.t ->
   ?telemetry:Telemetry.t ->
+  ?recorder:Trace.t ->
   Dialect.t ->
   t
+(** [recorder] (default {!Trace.noop}) is the flight recorder threaded
+    into the executor context: the engine feeds it planner access-path
+    decisions and per-operator annotations while the caller (the PQS
+    runner) records statements, pivots and expressions on the same
+    ring. *)
 
 val dialect : t -> Dialect.t
 val catalog : t -> Storage.Catalog.t
@@ -43,6 +49,11 @@ val execute : t -> Sqlast.Ast.stmt -> (exec_result, Errors.t) result
 
 (** Convenience: run a query and expect rows. *)
 val query : t -> Sqlast.Ast.query -> (Executor.result_set, Errors.t) result
+
+(** Static plan lines for a query ({!Explain.query_lines}) without
+    executing it or touching the per-statement counters; used when a repro
+    bundle wants the annotated plan of the failing query. *)
+val plan_lines : t -> Sqlast.Ast.query -> string list
 
 (** Table names in creation order (the introspection PQS uses instead of
     tracking state itself, paper Section 3.4). *)

@@ -243,6 +243,9 @@ type stmt =
   | Commit_txn
   | Rollback_txn
   | Explain of query (* prints the access plan; never generated by PQS *)
+  | Explain_analyze of query
+    (* executes the query and prints the plan annotated with per-operator
+       actuals (rows in/out, B-tree visits, wall time) *)
 [@@deriving show { with_path = false }, eq]
 
 (* ------------------------------------------------------------------ *)
@@ -278,7 +281,7 @@ let stmt_kind = function
   | Create_statistics _ -> "CREATE STATS"
   | Discard_all -> "DISCARD"
   | Begin_txn | Commit_txn | Rollback_txn -> "TRANSACTION"
-  | Explain _ -> "EXPLAIN"
+  | Explain _ | Explain_analyze _ -> "EXPLAIN"
 
 (* All kinds in the display order of the paper's Figure 3 (bottom-up). *)
 let all_stmt_kinds =

@@ -357,6 +357,7 @@ let stmt dialect st =
   | Commit_txn -> "COMMIT"
   | Rollback_txn -> "ROLLBACK"
   | Explain q -> "EXPLAIN " ^ query dialect q
+  | Explain_analyze q -> "EXPLAIN ANALYZE " ^ query dialect q
 
 let script dialect stmts =
   String.concat "\n" (List.map (fun s -> stmt dialect s ^ ";") stmts)

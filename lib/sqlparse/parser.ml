@@ -840,8 +840,9 @@ let rec parse_stmt_inner st : A.stmt =
   match cur st with
   | Lexer.KEYWORD "EXPLAIN" ->
       advance st;
+      let analyze = try_kw st "ANALYZE" in
       (match parse_stmt_inner st with
-      | A.Select_stmt q -> A.Explain q
+      | A.Select_stmt q -> if analyze then A.Explain_analyze q else A.Explain q
       | _ -> fail st "EXPLAIN supports only queries")
   | Lexer.KEYWORD "CREATE" -> (
       advance st;

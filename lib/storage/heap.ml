@@ -8,12 +8,22 @@ type t = {
   (* read-path profiling: full scans started and rows they produced *)
   mutable scans : int;
   mutable rows_scanned : int;
+  (* point fetches by rowid: flight-recorder operator annotations read
+     deltas of this around index-driven lookups *)
+  mutable lookups : int;
 }
 
 let create () =
-  { rows = Hashtbl.create 16; next_rowid = 1L; scans = 0; rows_scanned = 0 }
+  {
+    rows = Hashtbl.create 16;
+    next_rowid = 1L;
+    scans = 0;
+    rows_scanned = 0;
+    lookups = 0;
+  }
 
 let profile h = (h.scans, h.rows_scanned)
+let lookup_count h = h.lookups
 
 let note_scan h =
   h.scans <- h.scans + 1;
@@ -40,7 +50,9 @@ let insert_with_rowid h ~rowid values =
   row
 
 let delete h rowid = Hashtbl.remove h.rows rowid
-let find h rowid = Hashtbl.find_opt h.rows rowid
+let find h rowid =
+  h.lookups <- h.lookups + 1;
+  Hashtbl.find_opt h.rows rowid
 
 let rowids_sorted h =
   Hashtbl.fold (fun id _ acc -> id :: acc) h.rows [] |> List.sort Int64.compare
@@ -63,12 +75,13 @@ let copy h =
     next_rowid = h.next_rowid;
     scans = 0;
     rows_scanned = 0;
+    lookups = 0;
   }
 
 let deep_copy h =
   let rows = Hashtbl.create (Hashtbl.length h.rows) in
   Hashtbl.iter (fun id r -> Hashtbl.replace rows id (Row.copy r)) h.rows;
-  { rows; next_rowid = h.next_rowid; scans = 0; rows_scanned = 0 }
+  { rows; next_rowid = h.next_rowid; scans = 0; rows_scanned = 0; lookups = 0 }
 
 let nth_row h n =
   match List.nth_opt (rowids_sorted h) n with

@@ -30,6 +30,11 @@ module Clock : sig
   (** Nanoseconds from an arbitrary fixed origin; never decreases. *)
   val now_ns : unit -> int64
 
+  (** Same reading as an immediate [int] (no [Int64] boxing), for hot
+      per-event instrumentation.  63 bits of nanoseconds cannot overflow
+      in practice. *)
+  val now_ns_int : unit -> int
+
   (** Seconds from the same origin, for duration arithmetic. *)
   val now : unit -> float
 

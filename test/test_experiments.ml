@@ -36,6 +36,8 @@ let tiny_detections () =
           ];
         reduced = None;
         seed = 1;
+        phase = "containment";
+        bundle = None;
       }
   in
   [
