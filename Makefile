@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint fmt bench telemetry trace clean
+.PHONY: all build test smoke lint plandiff fmt bench telemetry trace clean
 
 all: build
 
@@ -47,6 +47,17 @@ telemetry:
 # BENCH_trace.json.
 trace:
 	$(DUNE) exec bench/main.exe -- quick trace
+
+# Plan-space differential oracle: bug-free sweeps must find no divergence
+# (soundness), each targeted planner-bug sweep must (detection), and the
+# oracle's campaign overhead at fan-out cap 4 must stay under 15%.
+# Writes BENCH_plandiff.json.
+plandiff:
+	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300
+	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_skip_scan_distinct
+	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_or_index_dedup
+	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_desc_index_range
+	$(DUNE) exec bench/main.exe -- quick plandiff
 
 clean:
 	$(DUNE) clean

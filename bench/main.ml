@@ -206,6 +206,8 @@ let run_target b = function
       Experiments.Telemetry_bench.run ~databases:(b.throughput_queries / 3) ()
   | "trace" ->
       Experiments.Trace_bench.run ~databases:(b.throughput_queries / 3) ()
+  | "plandiff" ->
+      Experiments.Plandiff_bench.run ~databases:(b.throughput_queries / 3) ()
   | "baselines" ->
       Experiments.Baseline_cmp.run ~fuzzer_budget:b.fuzzer_budget
         ~difftest_budget:b.difftest_budget (get_detections b)
@@ -218,8 +220,8 @@ let run_target b = function
 let all_targets =
   [
     "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3"; "perf";
-    "campaign"; "telemetry"; "trace"; "baselines"; "ablations"; "metamorphic";
-    "micro";
+    "campaign"; "telemetry"; "trace"; "plandiff"; "baselines"; "ablations";
+    "metamorphic"; "micro";
   ]
 
 let () =

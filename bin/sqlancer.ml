@@ -143,6 +143,15 @@ let lint_arg =
     & info [ "lint" ]
         ~doc:"add the static-analysis self-check oracle (see Analysis)")
 
+let plan_diff_arg =
+  Arg.(
+    value & flag
+    & info [ "plan-diff" ]
+        ~doc:
+          "add the plan-space differential oracle: re-execute every \
+           containment query under each enumerable access plan and \
+           cross-check the result multisets")
+
 let metrics_arg =
   Arg.(
     value
@@ -158,14 +167,16 @@ let write_metrics tele = function
       Telemetry.write_file tele path;
       Printf.printf "metrics written to %s\n" path
 
-let run dialect seed queries all_bugs with_lint metrics bundles trace_sample =
+let run dialect seed queries all_bugs with_lint with_plan_diff metrics bundles
+    trace_sample =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
   let oracles =
-    if with_lint then Pqs.Oracle.defaults @ [ Pqs.Lint.oracle ]
-    else Pqs.Oracle.defaults
+    Pqs.Oracle.defaults
+    @ (if with_lint then [ Pqs.Lint.oracle ] else [])
+    @ if with_plan_diff then [ Pqs.Plan_diff.oracle () ] else []
   in
   let telemetry =
     if metrics = None then Telemetry.noop else Telemetry.create ()
@@ -191,7 +202,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"run the PQS loop and report findings")
     Term.(
       const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs $ lint_arg
-      $ metrics_arg $ bundles_arg $ trace_sample_arg)
+      $ plan_diff_arg $ metrics_arg $ bundles_arg $ trace_sample_arg)
 
 (* ---- campaign ---- *)
 
@@ -226,7 +237,7 @@ let funnel_line tele (c : Pqs.Campaign.t) =
     (Pqs.Campaign.statements_per_sec c)
 
 let campaign_run dialect seed databases domains trace chrome_trace all_bugs
-    with_metamorphic with_lint metrics bundles trace_sample =
+    with_metamorphic with_lint with_plan_diff metrics bundles trace_sample =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
@@ -234,7 +245,8 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   let oracles =
     Pqs.Oracle.defaults
     @ (if with_metamorphic then [ Pqs.Oracle.metamorphic () ] else [])
-    @ if with_lint then [ Pqs.Lint.oracle ] else []
+    @ (if with_lint then [ Pqs.Lint.oracle ] else [])
+    @ if with_plan_diff then [ Pqs.Plan_diff.oracle () ] else []
   in
   (* always enabled for campaigns: the funnel summary comes from it, and
      recording is campaign-neutral (verified by test_telemetry) *)
@@ -273,10 +285,10 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   if Pqs.Campaign.reports c = [] then 0 else 1
 
 let campaign dialect seed databases domains trace chrome_trace all_bugs
-    with_metamorphic with_lint metrics bundles trace_sample =
+    with_metamorphic with_lint with_plan_diff metrics bundles trace_sample =
   try
     campaign_run dialect seed databases domains trace chrome_trace all_bugs
-      with_metamorphic with_lint metrics bundles trace_sample
+      with_metamorphic with_lint with_plan_diff metrics bundles trace_sample
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -329,8 +341,8 @@ let campaign_cmd =
           merge the results deterministically")
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
-      $ chrome_trace $ all_bugs $ with_metamorphic $ lint_arg $ metrics_arg
-      $ bundles_arg $ trace_sample_arg)
+      $ chrome_trace $ all_bugs $ with_metamorphic $ lint_arg $ plan_diff_arg
+      $ metrics_arg $ bundles_arg $ trace_sample_arg)
 
 (* ---- replay ---- *)
 
@@ -403,6 +415,76 @@ let lint_cmd =
           diagnostic is an analyzer or generator defect")
     Term.(const lint $ dialect_arg $ seed_arg $ databases $ queries_per_seed)
 
+(* ---- plan-diff ---- *)
+
+let plan_diff dialect seed databases queries_per_seed max_plans bug =
+  let bugs =
+    match bug with
+    | Some b -> Engine.Bug.set_of_list [ b ]
+    | None -> Engine.Bug.empty_set
+  in
+  let r =
+    Pqs.Plan_diff.sweep ~queries_per_seed ~max_plans ~bugs ~seed_lo:seed
+      ~seed_hi:(seed + databases - 1) dialect
+  in
+  let exclusive = Pqs.Plan_diff.exclusive_seeds r in
+  Printf.printf
+    "seeds=%d queries=%d forced-plans=%d divergences=%d \
+     containment-seeds=%d plan-diff-only-seeds=%d\n"
+    r.Pqs.Plan_diff.pd_seeds r.Pqs.Plan_diff.pd_queries
+    r.Pqs.Plan_diff.pd_plans
+    (List.length r.Pqs.Plan_diff.pd_divergences)
+    (List.length r.Pqs.Plan_diff.pd_containment_seeds)
+    (List.length exclusive);
+  List.iter
+    (fun (seed, msg) -> Printf.printf "seed %d: %s\n" seed msg)
+    r.Pqs.Plan_diff.pd_divergences;
+  match bug with
+  | None ->
+      (* bug-free: any divergence is an engine or oracle defect *)
+      if r.Pqs.Plan_diff.pd_divergences = [] then 0 else 1
+  | Some _ ->
+      (* hunting an injected bug: success means the oracle caught it *)
+      if r.Pqs.Plan_diff.pd_divergences <> [] then 0 else 1
+
+let plan_diff_cmd =
+  let databases =
+    Arg.(
+      value & opt int 100
+      & info [ "databases" ] ~docv:"N"
+          ~doc:"seed range size: one database per seed")
+  in
+  let queries_per_seed =
+    Arg.(
+      value & opt int 3
+      & info [ "queries-per-seed" ] ~docv:"N"
+          ~doc:"pivoted queries checked per seed")
+  in
+  let max_plans =
+    Arg.(
+      value & opt int 4
+      & info [ "max-plans" ] ~docv:"N"
+          ~doc:"forced-plan fan-out cap per query")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some bug_conv) None
+      & info [ "b"; "bug" ] ~docv:"BUG"
+          ~doc:
+            "injected bug to enable; with it, exit 0 iff a divergence was \
+             found (detection), without it, exit 0 iff none was (soundness)")
+  in
+  Cmd.v
+    (Cmd.info "plan-diff"
+       ~doc:
+         "run the plan-space differential oracle over a generated seed \
+          corpus: every query executed under each enumerable plan, result \
+          multisets cross-checked")
+    Term.(
+      const plan_diff $ dialect_arg $ seed_arg $ databases $ queries_per_seed
+      $ max_plans $ bug)
+
 (* ---- metamorphic ---- *)
 
 let metamorphic dialect seed checks bug =
@@ -458,5 +540,6 @@ let () =
             campaign_cmd;
             metamorphic_cmd;
             lint_cmd;
+            plan_diff_cmd;
             replay_cmd;
           ]))

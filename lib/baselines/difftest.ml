@@ -11,11 +11,22 @@ type finding = {
   mismatched : (Dialect.t * int) list;
 }
 
+(* a pure value, mergeable across runs like [Pqs.Stats.t]: [merge_stats]
+   is associative with [empty_stats] as identity *)
 type stats = {
-  mutable queries : int;
-  mutable statements : int;
-  mutable findings : finding list;
+  queries : int;
+  statements : int;
+  findings : finding list;
 }
+
+let empty_stats = { queries = 0; statements = 0; findings = [] }
+
+let merge_stats a b =
+  {
+    queries = a.queries + b.queries;
+    statements = a.statements + b.statements;
+    findings = a.findings @ b.findings;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Common-core generation: accepted, with identical semantics, by all
@@ -138,9 +149,9 @@ let canonical_rows (rs : Engine.Executor.result_set) =
   |> List.sort String.compare
 
 let run ~max_queries config =
-  let stats = { queries = 0; statements = 0; findings = [] } in
+  let stats = ref empty_stats in
   let rec db_round round =
-    if stats.queries >= max_queries || round > max 50 max_queries then stats
+    if !stats.queries >= max_queries || round > max 50 max_queries then !stats
     else begin
       let rng = Pqs.Rng.make ~seed:(config.seed + (round * 6991)) in
       let cols = core_schema rng in
@@ -150,7 +161,9 @@ let run ~max_queries config =
           Dialect.all
       in
       let exec_all stmt =
-        stats.statements <- stats.statements + List.length sessions;
+        stats :=
+          merge_stats !stats
+            { empty_stats with statements = List.length sessions };
         List.iter
           (fun (_, s) ->
             match Engine.Session.execute s stmt with
@@ -163,8 +176,8 @@ let run ~max_queries config =
         exec_all (core_insert rng cols)
       done;
       for _ = 1 to 15 do
-        if stats.queries < max_queries then begin
-          stats.queries <- stats.queries + 1;
+        if !stats.queries < max_queries then begin
+          stats := merge_stats !stats { empty_stats with queries = 1 };
           let q =
             A.Q_select
               {
@@ -180,7 +193,9 @@ let run ~max_queries config =
                 sel_offset = None;
               }
           in
-          stats.statements <- stats.statements + List.length sessions;
+          stats :=
+            merge_stats !stats
+              { empty_stats with statements = List.length sessions };
           let results =
             List.map
               (fun (d, s) ->
@@ -194,16 +209,26 @@ let run ~max_queries config =
             List.sort_uniq compare (List.filter_map snd results)
           in
           if List.length distinct_outcomes > 1 then
-            stats.findings <-
-              {
-                query_text = Sqlast.Sql_printer.query Dialect.Sqlite_like q;
-                mismatched =
-                  List.map
-                    (fun (d, r) ->
-                      (d, match r with Some rows -> List.length rows | None -> -1))
-                    results;
-              }
-              :: stats.findings
+            stats :=
+              merge_stats !stats
+                {
+                  empty_stats with
+                  findings =
+                    [
+                      {
+                        query_text =
+                          Sqlast.Sql_printer.query Dialect.Sqlite_like q;
+                        mismatched =
+                          List.map
+                            (fun (d, r) ->
+                              ( d,
+                                match r with
+                                | Some rows -> List.length rows
+                                | None -> -1 ))
+                            results;
+                      };
+                    ];
+                }
         end
       done;
       db_round (round + 1)

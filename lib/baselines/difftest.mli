@@ -26,9 +26,16 @@ type finding = {
 }
 
 type stats = {
-  mutable queries : int;
-  mutable statements : int;
-  mutable findings : finding list;
+  queries : int;
+  statements : int;
+  findings : finding list;  (** in chronological order *)
 }
+
+val empty_stats : stats
+
+(** Sum the counters and append [b]'s findings after [a]'s.  Associative,
+    with {!empty_stats} as left and right identity — the same monoid laws
+    as [Pqs.Stats.merge], so partial runs can be combined. *)
+val merge_stats : stats -> stats -> stats
 
 val run : max_queries:int -> config -> stats

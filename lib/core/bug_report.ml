@@ -7,6 +7,7 @@ type oracle =
   | Crash
   | Metamorphic
   | Lint
+  | Plan_diff
 [@@deriving show { with_path = false }, eq]
 
 (* the negative variant reports under the same Table 3 column *)
@@ -16,6 +17,7 @@ let oracle_label = function
   | Crash -> "SEGFAULT"
   | Metamorphic -> "Metamorphic"
   | Lint -> "Lint"
+  | Plan_diff -> "PlanDiff"
 
 (* stable machine-readable tokens, round-tripped through repro-bundle
    headers by the replay harness *)
@@ -26,6 +28,7 @@ let oracle_token = function
   | Crash -> "crash"
   | Metamorphic -> "metamorphic"
   | Lint -> "lint"
+  | Plan_diff -> "plan_diff"
 
 let oracle_of_token = function
   | "containment" -> Some Containment
@@ -34,6 +37,7 @@ let oracle_of_token = function
   | "crash" -> Some Crash
   | "metamorphic" -> Some Metamorphic
   | "lint" -> Some Lint
+  | "plan_diff" -> Some Plan_diff
   | _ -> None
 
 type t = {

@@ -15,6 +15,9 @@ type oracle =
   | Lint
       (** the static analyzer found an ill-typed tree or an inconsistent
           access plan (see [Analysis] and [Lint.oracle]) *)
+  | Plan_diff
+      (** the same query returned different result multisets under two
+          enumerated access plans (see [Plan_diff.oracle]) *)
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val show_oracle : oracle -> string

@@ -3,11 +3,22 @@ module A = Sqlast.Ast
 
 type verdict = Consistent | Inconsistent of string | Skipped
 
+(* a pure value, mergeable across runs/workers like [Stats.t]:
+   [merge_stats] is associative with [empty_stats] as identity *)
 type stats = {
-  mutable checks : int;
-  mutable skipped : int;
-  mutable findings : (string * A.stmt list) list;
+  checks : int;
+  skipped : int;
+  findings : (string * A.stmt list) list;
 }
+
+let empty_stats = { checks = 0; skipped = 0; findings = [] }
+
+let merge_stats a b =
+  {
+    checks = a.checks + b.checks;
+    skipped = a.skipped + b.skipped;
+    findings = a.findings @ b.findings;
+  }
 
 (* SELECT count-star, COUNT(c), MIN(c), MAX(c) FROM t [WHERE w] *)
 let agg_query (ti : Schema_info.table_info) (c : Schema_info.column_info)
@@ -117,9 +128,9 @@ let check session ~rng ~(table : Schema_info.table_info) : verdict =
       | _ -> Skipped)
 
 let run ?(seed = 1) ?(bugs = Engine.Bug.empty_set) ~max_checks dialect =
-  let stats = { checks = 0; skipped = 0; findings = [] } in
+  let stats = ref empty_stats in
   let round = ref 0 in
-  while stats.checks < max_checks && !round < max 50 max_checks do
+  while !stats.checks < max_checks && !round < max 50 max_checks do
     incr round;
     let db_seed = seed + (!round * 5413) in
     let rng = Rng.make ~seed:db_seed in
@@ -140,14 +151,15 @@ let run ?(seed = 1) ?(bugs = Engine.Bug.empty_set) ~max_checks dialect =
     let tables = Schema_info.tables_of_session session in
     List.iter
       (fun table ->
-        if stats.checks < max_checks then begin
-          stats.checks <- stats.checks + 1;
-          match check session ~rng ~table with
-          | Consistent -> ()
-          | Skipped -> stats.skipped <- stats.skipped + 1
-          | Inconsistent msg ->
-              stats.findings <- (msg, List.rev !log) :: stats.findings
-        end)
+        if !stats.checks < max_checks then
+          let one =
+            match check session ~rng ~table with
+            | Consistent -> { empty_stats with checks = 1 }
+            | Skipped -> { empty_stats with checks = 1; skipped = 1 }
+            | Inconsistent msg ->
+                { checks = 1; skipped = 0; findings = [ (msg, List.rev !log) ] }
+          in
+          stats := merge_stats !stats one)
       tables
   done;
-  stats
+  !stats

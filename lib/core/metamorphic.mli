@@ -29,11 +29,19 @@ val check :
   verdict
 
 type stats = {
-  mutable checks : int;
-  mutable skipped : int;
-  mutable findings : (string * Sqlast.Ast.stmt list) list;
-      (** violated relation + the statements leading to it *)
+  checks : int;
+  skipped : int;
+  findings : (string * Sqlast.Ast.stmt list) list;
+      (** violated relation + the statements leading to it, in
+          chronological order *)
 }
+
+val empty_stats : stats
+
+(** Sum the counters and append [b]'s findings after [a]'s.  Associative,
+    with {!empty_stats} as left and right identity — the same monoid laws
+    as [Stats.merge], so partial runs can be combined across workers. *)
+val merge_stats : stats -> stats -> stats
 
 (** Generate random databases and run metamorphic aggregate checks, like
     {!Runner.run} does for containment checks. *)

@@ -79,6 +79,29 @@ let manifestation_check ~dialect ~bugs ~oracle : check =
       (* static-analysis findings depend on schema state at analysis time,
          not on replay behaviour; reduction is likewise a no-op *)
       false
+  | Bug_report.Plan_diff ->
+      (* a real recheck: rebuild the database and re-run the multi-plan
+         comparison — on the final SELECT if the script ends in one (a
+         per-query site divergence), and over the join-order witnesses
+         either way (a Database_ready divergence has no trigger SELECT).
+         A candidate script manifests iff some plan still disagrees. *)
+      let session = Engine.Session.create ~bugs dialect in
+      (try
+         List.iter
+           (fun stmt ->
+             match Engine.Session.execute session stmt with
+             | Ok _ | Error _ -> ())
+           stmts
+       with Engine.Errors.Crash _ -> ());
+      let diverged check =
+        match check session with
+        | oc -> oc.Plan_diff.oc_divergence <> None
+        | exception Engine.Errors.Crash _ -> false
+      in
+      (match List.rev stmts with
+      | A.Select_stmt q :: _ -> diverged (fun s -> Plan_diff.check_query s q)
+      | _ -> false)
+      || diverged (fun s -> Plan_diff.check_join_orders s)
 
 (* one pass of greedy single-statement deletion; [keep_last] protects the
    detecting query *)

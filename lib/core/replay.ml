@@ -81,7 +81,7 @@ let check_file path : (outcome, string) result =
           detail = "verdict not re-checkable from the script alone";
         }
   | Bug_report.Containment | Bug_report.Non_containment
-  | Bug_report.Error_oracle | Bug_report.Crash ->
+  | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Plan_diff ->
       let check = Reducer.manifestation_check ~dialect ~bugs ~oracle in
       let reproduced = check stmts in
       Ok

@@ -116,7 +116,9 @@ let confirm_report (config : Config.t) kind script =
   | Bug_report.Non_containment ->
       correct_engine_misses config.Config.dialect script
   | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Metamorphic
-  | Bug_report.Lint ->
+  | Bug_report.Lint | Bug_report.Plan_diff ->
+      (* the divergence was observed directly; the two executions are
+         their own witnesses *)
       true
 
 (* flight recorder: enabled when tracing is requested or when repro
@@ -159,6 +161,11 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
      observations are counted so campaign summaries show coverage *)
   let lint_enabled =
     List.exists (fun o -> String.equal (Oracle.name o) "lint") config.oracles
+  in
+  let plan_diff_enabled =
+    List.exists
+      (fun o -> String.equal (Oracle.name o) "plan_diff")
+      config.oracles
   in
   let record ?expected ?actual kind message =
     let stmts = List.rev !log in
@@ -212,6 +219,12 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
           {
             !stats with
             Stats.lint_diagnostics = (!stats).Stats.lint_diagnostics + 1;
+          }
+    | Bug_report.Plan_diff ->
+        stats :=
+          {
+            !stats with
+            Stats.plan_divergences = (!stats).Stats.plan_divergences + 1;
           }
     | _ -> ());
     stats := Stats.add_report !stats r;
@@ -496,6 +509,13 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
                                       !stats with
                                       Stats.lint_checks =
                                         (!stats).Stats.lint_checks + 1;
+                                    };
+                                if plan_diff_enabled then
+                                  stats :=
+                                    {
+                                      !stats with
+                                      Stats.plan_checks =
+                                        (!stats).Stats.plan_checks + 1;
                                     };
                                 match
                                   dispatch

@@ -12,6 +12,8 @@ type t = {
   negative_checks : int;
   lint_checks : int;
   lint_diagnostics : int;
+  plan_checks : int;
+  plan_divergences : int;
 }
 
 (* truth_values is kept on the canonical key set so that [merge] is
@@ -37,6 +39,8 @@ let empty =
     negative_checks = 0;
     lint_checks = 0;
     lint_diagnostics = 0;
+    plan_checks = 0;
+    plan_divergences = 0;
   }
 
 let merge a b =
@@ -55,6 +59,8 @@ let merge a b =
     negative_checks = a.negative_checks + b.negative_checks;
     lint_checks = a.lint_checks + b.lint_checks;
     lint_diagnostics = a.lint_diagnostics + b.lint_diagnostics;
+    plan_checks = a.plan_checks + b.plan_checks;
+    plan_divergences = a.plan_divergences + b.plan_divergences;
   }
 
 let merge_all = List.fold_left merge empty
@@ -73,9 +79,11 @@ let summary t =
   Printf.sprintf
     "databases=%d pivots=%d containment-checks=%d statements=%d \
      interp-failures=%d false-positives=%d negative-checks=%d \
-     lint-checks=%d lint-diagnostics=%d findings=%d"
+     lint-checks=%d lint-diagnostics=%d plan-checks=%d plan-divergences=%d \
+     findings=%d"
     t.databases t.pivots t.queries t.statements t.interp_failures
     t.false_positives t.negative_checks t.lint_checks t.lint_diagnostics
+    t.plan_checks t.plan_divergences
     (List.length t.reports)
 
 let pp fmt t = Format.pp_print_string fmt (summary t)

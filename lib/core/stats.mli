@@ -28,6 +28,12 @@ type t = {
       (** statements and plans analyzed by the [lint] self-check oracle *)
   lint_diagnostics : int;
       (** lint-oracle reports recorded (each carries >= 1 diagnostic) *)
+  plan_checks : int;
+      (** containment checks the plan-diff oracle re-executed under forced
+          plans *)
+  plan_divergences : int;
+      (** plan-diff oracle reports recorded (cross-plan result
+          disagreements) *)
 }
 
 val empty : t

@@ -50,6 +50,35 @@ let make_profile tele =
         plan_labels;
   }
 
+(* A forced access path for one scan site.  Sites are keyed by the
+   lowercase effective alias, the lowercase base-table name AND the scan's
+   WHERE clause: a path derived for one (schema, where) pair is only sound
+   at a scan with the same schema and the same residual filter, so an
+   identical key is both necessary and sufficient (a view-internal scan of
+   the same table has a different WHERE and is never matched). *)
+type forced_site = {
+  fs_alias : string;
+  fs_table : string;
+  fs_where : A.expr option;
+  fs_path : Planner.path;
+}
+
+type forced = {
+  f_sites : forced_site list;
+  f_swap_join : bool;
+      (* iterate two-table inner/cross joins right-major; binding order
+         (and therefore projection) is unchanged, only scan order moves *)
+}
+
+let no_force = { f_sites = []; f_swap_join = false }
+
+let show_forced f =
+  let sites =
+    List.map (fun s -> s.fs_alias ^ "=" ^ Planner.show_path s.fs_path) f.f_sites
+  in
+  let sites = if f.f_swap_join then sites @ [ "swap-join" ] else sites in
+  String.concat ";" sites
+
 type ctx = {
   dialect : Dialect.t;
   bugs : Bug.set;
@@ -61,7 +90,28 @@ type ctx = {
   recorder : Trace.t;
       (* flight recorder: planner decisions and per-operator annotations
          stream into it when enabled (runner rounds, EXPLAIN ANALYZE) *)
+  force : forced option;
+      (* plan-diff oracle: override the planner at matching scan sites *)
 }
+
+let forced_path_for ctx ~alias ~table ~where =
+  match ctx.force with
+  | None -> None
+  | Some f ->
+      let alias = String.lowercase_ascii alias
+      and table = String.lowercase_ascii table in
+      List.find_map
+        (fun s ->
+          if
+            String.equal s.fs_alias alias
+            && String.equal s.fs_table table
+            && Option.equal A.equal_expr s.fs_where where
+          then Some s.fs_path
+          else None)
+        f.f_sites
+
+let swap_join_forced ctx =
+  match ctx.force with Some f -> f.f_swap_join | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Flight-recorder operator annotations.  All call sites are guarded on
@@ -214,6 +264,17 @@ let eval_env ctx : Eval.env =
 
 let env_for ctx bindings : Eval.env =
   { (eval_env ctx) with Eval.resolve = resolve_in bindings }
+
+(* env whose resolver sees the table's columns with NULL values: the
+   planner needs collation/affinity metadata, not row values *)
+let planner_env ctx (schema : Storage.Schema.table) ~alias =
+  let null_binding =
+    binding_of_table schema ~alias
+      (Array.map
+         (fun (_ : Storage.Schema.column) -> Value.Null)
+         schema.Storage.Schema.columns)
+  in
+  env_for ctx [ null_binding ]
 
 (* ------------------------------------------------------------------ *)
 (* Table scans                                                         *)
@@ -475,21 +536,22 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
             (* planner only for single-table queries; its env resolves the
                table's columns (values irrelevant) so collation/affinity
                checks see the schema *)
+            let forced =
+              if fctx.in_join then None
+              else forced_path_for ctx ~alias:alias_name ~table:name ~where
+            in
             let path =
               if fctx.in_join then Planner.Full_scan
               else
-                let null_binding =
-                  binding_of_table schema ~alias:alias_name
-                    (Array.map
-                       (fun (_ : Storage.Schema.column) -> Value.Null)
-                       schema.Storage.Schema.columns)
-                in
                 let path =
-                  Telemetry.Span.timed ctx.telemetry Telemetry.Phase.Plan
-                    (fun () ->
-                      Planner.choose
-                        (env_for ctx [ null_binding ])
-                        ctx.catalog schema ~where)
+                  match forced with
+                  | Some p -> p
+                  | None ->
+                      Telemetry.Span.timed ctx.telemetry Telemetry.Phase.Plan
+                        (fun () ->
+                          Planner.choose
+                            (planner_env ctx schema ~alias:alias_name)
+                            ctx.catalog schema ~where)
                 in
                 Telemetry.inc_handle ctx.profile.p_plan.(plan_index path);
                 path
@@ -498,7 +560,10 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
               match path with Planner.Skip_scan _ -> true | _ -> false
             in
             let shown_path =
-              if tracing ctx then Planner.show_path path else ""
+              if tracing ctx then
+                Planner.show_path path
+                ^ if Option.is_some forced then " (forced)" else ""
+              else ""
             in
             if tracing ctx && not fctx.in_join then
               Trace.record ctx.recorder
@@ -700,14 +765,45 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
             let* produced = walk_right [] false r.tuples in
             combine (List.rev_append produced acc) rest
       in
-      let* tuples = combine [] l.tuples in
+      (* forced join-order swap: the right side drives the outer loop, the
+         left is re-walked per right tuple.  Bindings still concatenate in
+         textual order (lt @ rt) so projection and resolution are
+         unchanged — only the scan order moves, which must not be
+         observable for inner/cross joins.  LEFT joins are never swapped:
+         their NULL extension is asymmetric. *)
+      let swap =
+        swap_join_forced ctx
+        && match kind with A.Inner | A.Cross -> true | A.Left -> false
+      in
+      let rec combine_swapped acc = function
+        | [] -> Ok (List.rev acc)
+        | rt :: rest ->
+            let rec walk_left acc_l = function
+              | [] -> Ok acc_l
+              | lt :: more -> (
+                  let combined = lt @ rt in
+                  match (kind, on) with
+                  | A.Cross, _ | _, None -> walk_left (combined :: acc_l) more
+                  | _, Some cond -> (
+                      match Eval.eval_tvl (env_for ctx combined) cond with
+                      | Ok Tvl.True -> walk_left (combined :: acc_l) more
+                      | Ok (Tvl.False | Tvl.Unknown) -> walk_left acc_l more
+                      | Error e -> Error e))
+            in
+            let* produced = walk_left [] l.tuples in
+            combine_swapped (List.rev_append produced acc) rest
+      in
+      let* tuples =
+        if swap then combine_swapped [] r.tuples else combine [] l.tuples
+      in
       if tracing ctx then
         op_event ctx ~op:"JOIN"
           ~detail:
-            (match kind with
-            | A.Inner -> "INNER"
-            | A.Left -> "LEFT"
-            | A.Cross -> "CROSS")
+            ((match kind with
+             | A.Inner -> "INNER"
+             | A.Left -> "LEFT"
+             | A.Cross -> "CROSS")
+            ^ if swap then " (forced swap)" else "")
           ~rows_in:(List.length l.tuples + List.length r.tuples)
           ~rows_out:(List.length tuples) ~t0:join_t0 ();
       Ok
@@ -1007,6 +1103,13 @@ and run_select ctx (s : A.select) : (result_set, Errors.t) result =
     let tuples =
       match scans with
       | [] -> []
+      | [ a; b ] when swap_join_forced ctx ->
+          (* forced join-order swap for the two-item comma FROM: iterate
+             the second table in the outer loop; bindings stay in textual
+             order so projection is unchanged *)
+          List.concat_map
+            (fun tr -> List.map (fun tl -> tl @ tr) a.tuples)
+            b.tuples
       | first :: rest ->
           List.fold_left
             (fun acc sc ->

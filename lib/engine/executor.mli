@@ -17,6 +17,30 @@ type profile
 
 val make_profile : Telemetry.t -> profile
 
+(** A forced access path for one scan site, keyed by the lowercase
+    effective alias, the lowercase base-table name and the scan's WHERE
+    clause.  A path is only sound at a scan with the same schema and the
+    same residual filter, so only an exact key match applies it. *)
+type forced_site = {
+  fs_alias : string;
+  fs_table : string;
+  fs_where : Sqlast.Ast.expr option;
+  fs_path : Planner.path;
+}
+
+type forced = {
+  f_sites : forced_site list;
+  f_swap_join : bool;
+      (** iterate two-table inner/cross joins (and two-item comma FROMs)
+          right-major; binding order and projection are unchanged, only
+          the scan order moves.  LEFT joins are never swapped. *)
+}
+
+(** No overrides: behaves exactly like [force = None]. *)
+val no_force : forced
+
+val show_forced : forced -> string
+
 type ctx = {
   dialect : Dialect.t;
   bugs : Bug.set;
@@ -28,7 +52,22 @@ type ctx = {
   recorder : Trace.t;
       (** flight recorder for plan/operator events; {!Trace.noop} unless a
           round is being traced *)
+  force : forced option;
+      (** plan-diff oracle: override the planner at matching scan sites;
+          forced paths are annotated ["(forced)"] in EXPLAIN and traces *)
 }
+
+(** The forced path for a scan site, when one matches. *)
+val forced_path_for :
+  ctx ->
+  alias:string ->
+  table:string ->
+  where:Sqlast.Ast.expr option ->
+  Planner.path option
+
+(** env whose resolver sees the table's columns with NULL values: what the
+    planner needs (collation/affinity metadata, not row values). *)
+val planner_env : ctx -> Storage.Schema.table -> alias:string -> Eval.env
 
 type result_set = { rs_columns : string list; rs_rows : Value.t array list }
 
@@ -38,6 +77,11 @@ val pp_result_set : Format.formatter -> result_set -> unit
 val result_contains : result_set -> Value.t list -> bool
 
 val eval_env : ctx -> Eval.env
+
+(** Canonical multiset key of a result row: the same encoding the engine
+    uses for DISTINCT and the compound operators, so numeric values that
+    compare equal (e.g. [1] and [1.0]) collapse to the same key. *)
+val row_key : Value.t array -> string
 
 val run_query : ctx -> Sqlast.Ast.query -> (result_set, Errors.t) result
 

@@ -7,6 +7,11 @@
 
 module A = Sqlast.Ast
 
+let swap_forced ctx =
+  match ctx.Executor.force with
+  | Some f -> f.Executor.f_swap_join
+  | None -> false
+
 let rec from_lines ctx (item : A.from_item) ~where : string list =
   match item with
   | A.F_table { name; alias } -> (
@@ -15,11 +20,27 @@ let rec from_lines ctx (item : A.from_item) ~where : string list =
       in
       match Storage.Catalog.find_table ctx.Executor.catalog name with
       | Some ts ->
-          let path =
-            Planner.choose (Executor.eval_env ctx) ctx.Executor.catalog
-              ts.Storage.Catalog.schema ~where
+          let alias_name = Option.value ~default:name alias in
+          let path, forced =
+            match
+              Executor.forced_path_for ctx ~alias:alias_name ~table:name ~where
+            with
+            | Some p -> (p, " (forced)")
+            | None ->
+                (* the same null-binding table-scoped env the executor
+                   plans with: column collations must resolve identically
+                   or EXPLAIN can print a different path than the one the
+                   executor takes *)
+                ( Planner.choose
+                    (Executor.planner_env ctx ts.Storage.Catalog.schema
+                       ~alias:alias_name)
+                    ctx.Executor.catalog ts.Storage.Catalog.schema ~where,
+                  "" )
           in
-          [ Printf.sprintf "SCAN %s USING %s" label (Planner.show_path path) ]
+          [
+            Printf.sprintf "SCAN %s USING %s%s" label (Planner.show_path path)
+              forced;
+          ]
       | None ->
           if Storage.Catalog.view_exists ctx.Executor.catalog name then
             [ Printf.sprintf "EXPAND VIEW %s" label ]
@@ -30,6 +51,12 @@ let rec from_lines ctx (item : A.from_item) ~where : string list =
         | A.Inner -> "NESTED LOOP JOIN"
         | A.Left -> "NESTED LOOP LEFT JOIN"
         | A.Cross -> "NESTED LOOP CROSS JOIN"
+      in
+      let kw =
+        match kind with
+        | (A.Inner | A.Cross) when swap_forced ctx ->
+            kw ^ " (forced swap)"
+        | _ -> kw
       in
       from_lines ctx left ~where:None
       @ from_lines ctx right ~where:None
@@ -54,6 +81,10 @@ let rec query_lines ctx (q : A.query) : string list =
         | [ single ] -> from_lines ctx single ~where:s.A.sel_where
         | items ->
             List.concat_map (fun it -> from_lines ctx it ~where:None) items
+            @
+            if List.length items = 2 && swap_forced ctx then
+              [ "SWAP JOIN ORDER (forced)" ]
+            else []
       in
       let stages =
         (if s.A.sel_group_by <> [] then [ "GROUP BY" ] else [])

@@ -34,6 +34,26 @@ let rec show_path = function
 
 let pp_path fmt p = Format.pp_print_string fmt (show_path p)
 
+(* Structural identity of a path: [show_path] omits probe keys and range
+   bounds, so two different probes over the same index would collapse.
+   Used to dedup enumerated candidates and to recognise the default. *)
+let rec signature = function
+  | Full_scan -> "F"
+  | Index_eq { index; key } ->
+      "E:" ^ index.Storage.Index.index_name ^ ":"
+      ^ String.concat "," (List.map Value.show (Array.to_list key))
+  | Index_range { index; lo; hi } ->
+      let b = function
+        | None -> "-"
+        | Some (v, incl) -> Value.show v ^ if incl then "i" else "x"
+      in
+      "R:" ^ index.Storage.Index.index_name ^ ":" ^ b lo ^ ":" ^ b hi
+  | Index_like_prefix { index; prefix } ->
+      "L:" ^ index.Storage.Index.index_name ^ ":" ^ prefix
+  | Partial_index_scan { index } -> "P:" ^ index.Storage.Index.index_name
+  | Skip_scan { index } -> "S:" ^ index.Storage.Index.index_name
+  | Or_union ps -> "O(" ^ String.concat "|" (List.map signature ps) ^ ")"
+
 let label = function
   | Full_scan -> "full_scan"
   | Index_eq _ -> "index_eq"
@@ -280,6 +300,36 @@ let conjunct_path env table (ix : Storage.Index.t) conj =
           else None)
       | _ -> None)
 
+(* A skip-scan candidate: a multi-column index whose later column is
+   constrained by an equality conjunct (the Listing 6 setting). *)
+let skip_scan_applicable cs (ix : Storage.Index.t) =
+  List.length ix.Storage.Index.definition >= 2
+  &&
+  let later_cols =
+    List.filteri (fun i _ -> i > 0) ix.Storage.Index.definition
+    |> List.filter_map (fun ic ->
+           match ic.A.ic_expr with
+           | A.Col { column; _ } -> Some column
+           | _ -> None)
+  in
+  List.exists
+    (fun conj ->
+      match conj with
+      | A.Binary (A.Eq, a, b) ->
+          List.exists (fun c -> is_column_ref c a || is_column_ref c b) later_cols
+      | _ -> false)
+    cs
+
+(* usable indexes under a WHERE conjunction: total indexes always;
+   partial indexes only when the predicate is implied *)
+let usable_indexes env indexes cs =
+  List.filter
+    (fun ix ->
+      match ix.Storage.Index.where with
+      | None -> true
+      | Some pred -> implies_predicate env ~where:cs ~predicate:pred)
+    indexes
+
 let choose env catalog (table : Storage.Schema.table) ~where =
   let indexes =
     Storage.Catalog.indexes_on catalog table.Storage.Schema.table_name
@@ -293,42 +343,13 @@ let choose env catalog (table : Storage.Schema.table) ~where =
   | None -> Full_scan
   | Some w -> (
       let cs = conjuncts w in
-      (* usable indexes: total indexes always; partial only when implied *)
-      let usable =
-        List.filter
-          (fun ix ->
-            match ix.Storage.Index.where with
-            | None -> true
-            | Some pred -> implies_predicate env ~where:cs ~predicate:pred)
-          indexes
-      in
+      let usable = usable_indexes env indexes cs in
       (* 0. after ANALYZE the statistics make a multi-column index look
          cheap: a skip-scan is preferred when a later index column is
          constrained (the Listing 6 setting) *)
       let skip_scan_of () =
         if not catalog.Storage.Catalog.analyzed then None
-        else
-          List.find_opt
-            (fun ix ->
-              List.length ix.Storage.Index.definition >= 2
-              &&
-              let later_cols =
-                List.filteri (fun i _ -> i > 0) ix.Storage.Index.definition
-                |> List.filter_map (fun ic ->
-                       match ic.A.ic_expr with
-                       | A.Col { column; _ } -> Some column
-                       | _ -> None)
-              in
-              List.exists
-                (fun conj ->
-                  match conj with
-                  | A.Binary (A.Eq, a, b) ->
-                      List.exists
-                        (fun c -> is_column_ref c a || is_column_ref c b)
-                        later_cols
-                  | _ -> false)
-                cs)
-            usable
+        else List.find_opt (skip_scan_applicable cs) usable
       in
       match skip_scan_of () with
       | Some ix ->
@@ -405,3 +426,62 @@ let choose env catalog (table : Storage.Schema.table) ~where =
               | None ->
                   cov env "plan.full_scan";
                   Full_scan)))
+
+(* Enumerate every access path the engine could soundly take for [table]
+   under [where].  The list always starts with [Full_scan]; the
+   distinctive paths (skip scans, OR unions) come before plain probes so
+   a bounded fan-out keeps the plans most likely to disagree.  Unlike
+   [choose], the skip-scan candidate is not gated on ANALYZE: the
+   executor re-applies the full WHERE to every candidate row and indexes
+   store NULL keys, so any index read is a sound superset of the
+   matching rows regardless of statistics. *)
+let enumerate env catalog (table : Storage.Schema.table) ~where =
+  let indexes =
+    Storage.Catalog.indexes_on catalog table.Storage.Schema.table_name
+  in
+  if Storage.Catalog.children_of catalog table.Storage.Schema.table_name <> []
+  then [ Full_scan ]
+  else
+    match where with
+    | None -> [ Full_scan ]
+    | Some w ->
+        let cs = conjuncts w in
+        let usable = usable_indexes env indexes cs in
+        let skips =
+          List.filter (skip_scan_applicable cs) usable
+          |> List.map (fun ix -> Skip_scan { index = ix })
+        in
+        let first_path c =
+          List.fold_left
+            (fun acc ix ->
+              match acc with Some _ -> acc | None -> conjunct_path env table ix c)
+            None usable
+        in
+        let ors =
+          List.filter_map
+            (function
+              | A.Binary (A.Or, a, b) -> (
+                  match (first_path a, first_path b) with
+                  | Some x, Some y -> Some (Or_union [ x; y ])
+                  | _ -> None)
+              | _ -> None)
+            cs
+        in
+        let probes =
+          List.concat_map
+            (fun ix -> List.filter_map (conjunct_path env table ix) cs)
+            usable
+        in
+        let partials =
+          List.filter (fun ix -> ix.Storage.Index.where <> None) usable
+          |> List.map (fun ix -> Partial_index_scan { index = ix })
+        in
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun p ->
+            let s = signature p in
+            if Hashtbl.mem seen s then false
+            else (
+              Hashtbl.add seen s ();
+              true))
+          (Full_scan :: (skips @ ors @ probes @ partials))

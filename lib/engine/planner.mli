@@ -32,6 +32,11 @@ type path =
 val pp_path : Format.formatter -> path -> unit
 val show_path : path -> string
 
+(** Structural identity of a path, including probe keys and range bounds
+    ([show_path] omits both).  Two paths with equal signatures visit the
+    same candidate rows. *)
+val signature : path -> string
+
 (** Stable lowercase label of the path constructor, used as the
     [path="..."] label of [minidb_plan_choices_total]. *)
 val label : path -> string
@@ -52,3 +57,17 @@ val choose :
   Storage.Schema.table ->
   where:Sqlast.Ast.expr option ->
   path
+
+(** Every access path the engine could soundly take for this scan, the
+    full scan always first and [signature]-deduplicated.  The skip-scan
+    candidates are not gated on ANALYZE (any index read is a sound
+    superset since the executor re-applies the WHERE filter), so the
+    result is a superset of what [choose] can pick; it always contains
+    [choose]'s answer for the same arguments.  Deterministic: depends
+    only on the catalog, the schema and the WHERE clause. *)
+val enumerate :
+  Eval.env ->
+  Storage.Catalog.t ->
+  Storage.Schema.table ->
+  where:Sqlast.Ast.expr option ->
+  path list

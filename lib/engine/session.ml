@@ -81,6 +81,7 @@ let ctx t : Executor.ctx =
     telemetry = t.telemetry;
     profile = t.profile;
     recorder = t.recorder;
+    force = None;
   }
 
 let table_names t = Storage.Catalog.table_names t.catalog
@@ -291,10 +292,20 @@ let execute t (stmt : A.stmt) : (exec_result, Errors.t) result =
         Printexc.raise_with_backtrace e bt
   end
 
-let plan_lines t q = Explain.query_lines (ctx t) q
+let plan_lines ?force t q =
+  Explain.query_lines { (ctx t) with Executor.force } q
 
 let query t q =
   match execute t (A.Select_stmt q) with
   | Ok (Rows rs) -> Ok rs
   | Ok _ -> Error (Errors.make Errors.Internal_error "query returned no rows")
   | Error e -> Error e
+
+(* Plan-diff re-executions: run a query under a forced plan without going
+   through [execute], so oracle re-runs neither count as campaign
+   statements nor perturb the per-kind telemetry; coverage is stripped too,
+   so forced runs can never add coverage hits a plain run would not. *)
+let query_forced t ~force q =
+  Executor.run_query
+    { (ctx t) with Executor.force = Some force; coverage = None }
+    q

@@ -50,10 +50,24 @@ val execute : t -> Sqlast.Ast.stmt -> (exec_result, Errors.t) result
 (** Convenience: run a query and expect rows. *)
 val query : t -> Sqlast.Ast.query -> (Executor.result_set, Errors.t) result
 
+(** Run a query with {!Executor.forced} plan overrides, bypassing
+    {!execute}: plan-diff oracle re-runs neither count as campaign
+    statements, nor touch the per-statement telemetry, nor record
+    coverage hits — forced re-execution is campaign-neutral by
+    construction.  [Errors.Crash] propagates like it does from
+    {!execute}. *)
+val query_forced :
+  t ->
+  force:Executor.forced ->
+  Sqlast.Ast.query ->
+  (Executor.result_set, Errors.t) result
+
 (** Static plan lines for a query ({!Explain.query_lines}) without
     executing it or touching the per-statement counters; used when a repro
-    bundle wants the annotated plan of the failing query. *)
-val plan_lines : t -> Sqlast.Ast.query -> string list
+    bundle wants the annotated plan of the failing query.  [?force]
+    renders the plan under those overrides, each forced scan annotated
+    ["(forced)"]. *)
+val plan_lines : ?force:Executor.forced -> t -> Sqlast.Ast.query -> string list
 
 (** Table names in creation order (the introspection PQS uses instead of
     tracking state itself, paper Section 3.4). *)

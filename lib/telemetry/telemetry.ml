@@ -63,6 +63,7 @@ module Phase = struct
     | Interp
     | Containment
     | Lint
+    | Plan_diff
     | Parse
     | Plan
     | Execute
@@ -75,11 +76,12 @@ module Phase = struct
     | Interp -> 4
     | Containment -> 5
     | Lint -> 6
-    | Parse -> 7
-    | Plan -> 8
-    | Execute -> 9
+    | Plan_diff -> 7
+    | Parse -> 8
+    | Plan -> 9
+    | Execute -> 10
 
-  let count = 10
+  let count = 11
 
   let name = function
     | Gen_db -> "gen_db"
@@ -89,19 +91,21 @@ module Phase = struct
     | Interp -> "interp"
     | Containment -> "containment"
     | Lint -> "lint"
+    | Plan_diff -> "plan_diff"
     | Parse -> "parse"
     | Plan -> "plan"
     | Execute -> "execute"
 
   let metric = function
     | Parse | Plan | Execute -> "minidb_phase_seconds"
-    | Gen_db | Pivot | Gen_expr | Rectify | Interp | Containment | Lint ->
+    | Gen_db | Pivot | Gen_expr | Rectify | Interp | Containment | Lint
+    | Plan_diff ->
         "pqs_phase_seconds"
 
   let all =
     [
-      Gen_db; Pivot; Gen_expr; Rectify; Interp; Containment; Lint; Parse;
-      Plan; Execute;
+      Gen_db; Pivot; Gen_expr; Rectify; Interp; Containment; Lint; Plan_diff;
+      Parse; Plan; Execute;
     ]
 end
 
@@ -475,6 +479,10 @@ let help_of = function
   | "pqs_statements_total" -> "Statements issued by the PQS loop."
   | "pqs_queries_total" -> "Containment checks issued."
   | "pqs_pivots_total" -> "Pivot rows selected."
+  | "pqs_plans_enumerated_total" ->
+      "Forced plans enumerated by the plan-diff oracle."
+  | "pqs_plan_divergences_total" ->
+      "Result-set divergences found by the plan-diff oracle."
   | "pqs_reports_total" -> "Bug reports recorded."
   | "pqs_rectify_retries_total" ->
       "Synthesis attempts abandoned because the oracle could not evaluate \

@@ -93,6 +93,7 @@ module Phase : sig
         (** standalone expression evaluation, outside rectification *)
     | Containment  (** executing the containment check on the engine *)
     | Lint  (** static analysis self-check oracle *)
+    | Plan_diff  (** multi-plan differential execution oracle *)
     | Parse  (** SQL text parsing (engine) *)
     | Plan  (** access-path planning (engine) *)
     | Execute  (** statement execution (engine) *)

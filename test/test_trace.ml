@@ -420,6 +420,7 @@ let test_oracle_tokens () =
       Pqs.Bug_report.Crash;
       Pqs.Bug_report.Metamorphic;
       Pqs.Bug_report.Lint;
+      Pqs.Bug_report.Plan_diff;
     ];
   Alcotest.(check bool) "unknown token rejected" true
     (Pqs.Bug_report.oracle_of_token "nonsense" = None)
