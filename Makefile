@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint plandiff fmt bench telemetry trace clean
+.PHONY: all build test smoke lint plandiff compile fmt bench telemetry trace clean
 
 all: build
 
@@ -58,6 +58,12 @@ plandiff:
 	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_or_index_dedup
 	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_desc_index_range
 	$(DUNE) exec bench/main.exe -- quick plandiff
+
+# Execution-backend gate: the same campaign under the interpreted and the
+# compiled backend (interleaved minima), asserting identical report sets
+# and a >=2x rounds/sec speedup on sqlite.  Writes BENCH_compile.json.
+compile:
+	$(DUNE) exec bench/main.exe -- quick compile
 
 clean:
 	$(DUNE) clean

@@ -75,7 +75,7 @@ let bench_parse =
 
 let bench_synthesize dialect =
   let session = Engine.Session.create dialect in
-  let cfg = Pqs.Gen_db.default_config ~seed:3 dialect in
+  let cfg = Pqs.Gen_db.Config.make ~seed:3 dialect in
   List.iter
     (fun s -> ignore (Engine.Session.execute session s))
     (Pqs.Gen_db.initial_statements cfg);
@@ -208,6 +208,8 @@ let run_target b = function
       Experiments.Trace_bench.run ~databases:(b.throughput_queries / 3) ()
   | "plandiff" ->
       Experiments.Plandiff_bench.run ~databases:(b.throughput_queries / 3) ()
+  | "compile" ->
+      Experiments.Compile_bench.run ~databases:(b.throughput_queries / 10) ()
   | "baselines" ->
       Experiments.Baseline_cmp.run ~fuzzer_budget:b.fuzzer_budget
         ~difftest_budget:b.difftest_budget (get_detections b)
@@ -220,7 +222,8 @@ let run_target b = function
 let all_targets =
   [
     "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3"; "perf";
-    "campaign"; "telemetry"; "trace"; "plandiff"; "baselines"; "ablations";
+    "campaign"; "telemetry"; "trace"; "plandiff"; "compile"; "baselines";
+    "ablations";
     "metamorphic"; "micro";
   ]
 

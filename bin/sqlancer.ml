@@ -35,6 +35,52 @@ let dialect_arg =
     & opt dialect_conv Sqlval.Dialect.Sqlite_like
     & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc:"sqlite, mysql or postgres")
 
+let backend_conv =
+  let parse s =
+    match Engine.Exec_backend.of_name s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt k -> Format.pp_print_string fmt (Engine.Exec_backend.name k))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Engine.Exec_backend.Interpreted
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "execution backend for the test sessions: $(b,interpreted) \
+           (tree-walking reference) or $(b,compiled) (closure-compiling, \
+           batched); findings are always confirmed against the interpreted \
+           engine")
+
+(* every optional oracle contributes one flag, derived from the registry
+   so a new oracle needs no CLI edit *)
+let oracle_flags =
+  let entries =
+    List.filter
+      (fun e -> e.Pqs.Oracle.Registry.reg_flag <> None)
+      (Pqs.Oracle.Registry.all ())
+  in
+  List.fold_left
+    (fun acc e ->
+      let flag_name = Option.get e.Pqs.Oracle.Registry.reg_flag in
+      let arg =
+        Arg.(
+          value & flag
+          & info [ flag_name ] ~doc:e.Pqs.Oracle.Registry.reg_doc)
+      in
+      Term.(
+        const (fun selected enabled ->
+            if enabled then selected @ [ e ] else selected)
+        $ acc $ arg))
+    (Term.const []) entries
+
+let oracles_of selected =
+  Pqs.Oracle.defaults
+  @ List.map (fun e -> e.Pqs.Oracle.Registry.reg_make ()) selected
+
 let seed_arg =
   Arg.(value & opt int 7 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"random seed")
 
@@ -90,6 +136,34 @@ let list_bugs_cmd =
           0)
       $ const ())
 
+(* ---- list-oracles ---- *)
+
+let list_oracles () =
+  List.iter
+    (fun (e : Pqs.Oracle.Registry.entry) ->
+      Printf.printf "%-12s %-9s %-13s %s\n" e.Pqs.Oracle.Registry.reg_name
+        (if e.Pqs.Oracle.Registry.reg_default then "default"
+         else
+           match e.Pqs.Oracle.Registry.reg_flag with
+           | Some f -> "--" ^ f
+           | None -> "-")
+        (match e.Pqs.Oracle.Registry.reg_recheck with
+        | Pqs.Oracle.Registry.Not_recheckable -> "no-recheck"
+        | Pqs.Oracle.Registry.Replay_outcome -> "replay"
+        | Pqs.Oracle.Registry.Custom _ -> "custom")
+        e.Pqs.Oracle.Registry.reg_doc)
+    (Pqs.Oracle.Registry.all ())
+
+let list_oracles_cmd =
+  Cmd.v
+    (Cmd.info "list-oracles"
+       ~doc:"list the oracle registry (name, flag, recheck strategy)")
+    Term.(
+      const (fun () ->
+          list_oracles ();
+          0)
+      $ const ())
+
 (* ---- hunt ---- *)
 
 let hunt dialect bug seed queries no_reduce bundles trace_sample =
@@ -137,21 +211,6 @@ let hunt_cmd =
 
 (* ---- run ---- *)
 
-let lint_arg =
-  Arg.(
-    value & flag
-    & info [ "lint" ]
-        ~doc:"add the static-analysis self-check oracle (see Analysis)")
-
-let plan_diff_arg =
-  Arg.(
-    value & flag
-    & info [ "plan-diff" ]
-        ~doc:
-          "add the plan-space differential oracle: re-execute every \
-           containment query under each enumerable access plan and \
-           cross-check the result multisets")
-
 let metrics_arg =
   Arg.(
     value
@@ -167,22 +226,18 @@ let write_metrics tele = function
       Telemetry.write_file tele path;
       Printf.printf "metrics written to %s\n" path
 
-let run dialect seed queries all_bugs with_lint with_plan_diff metrics bundles
+let run dialect seed queries all_bugs extra_oracles backend metrics bundles
     trace_sample =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
-  let oracles =
-    Pqs.Oracle.defaults
-    @ (if with_lint then [ Pqs.Lint.oracle ] else [])
-    @ if with_plan_diff then [ Pqs.Plan_diff.oracle () ] else []
-  in
+  let oracles = oracles_of extra_oracles in
   let telemetry =
     if metrics = None then Telemetry.noop else Telemetry.create ()
   in
   let config =
-    Pqs.Runner.Config.make ~seed ~bugs ~oracles ~telemetry
+    Pqs.Runner.Config.make ~seed ~bugs ~oracles ~telemetry ~backend
       ?bundle_dir:bundles ~trace_sample dialect
   in
   let stats = Pqs.Runner.run ~max_queries:queries config in
@@ -201,8 +256,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run the PQS loop and report findings")
     Term.(
-      const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs $ lint_arg
-      $ plan_diff_arg $ metrics_arg $ bundles_arg $ trace_sample_arg)
+      const run $ dialect_arg $ seed_arg $ queries_arg $ all_bugs
+      $ oracle_flags $ backend_arg $ metrics_arg $ bundles_arg
+      $ trace_sample_arg)
 
 (* ---- campaign ---- *)
 
@@ -237,23 +293,18 @@ let funnel_line tele (c : Pqs.Campaign.t) =
     (Pqs.Campaign.statements_per_sec c)
 
 let campaign_run dialect seed databases domains trace chrome_trace all_bugs
-    with_metamorphic with_lint with_plan_diff metrics bundles trace_sample =
+    extra_oracles backend metrics bundles trace_sample =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
-  let oracles =
-    Pqs.Oracle.defaults
-    @ (if with_metamorphic then [ Pqs.Oracle.metamorphic () ] else [])
-    @ (if with_lint then [ Pqs.Lint.oracle ] else [])
-    @ if with_plan_diff then [ Pqs.Plan_diff.oracle () ] else []
-  in
+  let oracles = oracles_of extra_oracles in
   (* always enabled for campaigns: the funnel summary comes from it, and
      recording is campaign-neutral (verified by test_telemetry) *)
   let telemetry = Telemetry.create () in
   let config =
-    Pqs.Runner.Config.make ~bugs ~oracles ~telemetry ?bundle_dir:bundles
-      ~trace_sample dialect
+    Pqs.Runner.Config.make ~bugs ~oracles ~telemetry ~backend
+      ?bundle_dir:bundles ~trace_sample dialect
   in
   let c =
     Pqs.Campaign.run ?domains ?trace ?chrome_trace ~seed_lo:seed
@@ -285,10 +336,10 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   if Pqs.Campaign.reports c = [] then 0 else 1
 
 let campaign dialect seed databases domains trace chrome_trace all_bugs
-    with_metamorphic with_lint with_plan_diff metrics bundles trace_sample =
+    extra_oracles backend metrics bundles trace_sample =
   try
     campaign_run dialect seed databases domains trace chrome_trace all_bugs
-      with_metamorphic with_lint with_plan_diff metrics bundles trace_sample
+      extra_oracles backend metrics bundles trace_sample
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -328,12 +379,6 @@ let campaign_cmd =
       & info [ "all-bugs" ]
           ~doc:"enable every catalog bug of the dialect (default: none)")
   in
-  let with_metamorphic =
-    Arg.(
-      value & flag
-      & info [ "metamorphic" ]
-          ~doc:"add the metamorphic aggregate-partition oracle")
-  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -341,8 +386,8 @@ let campaign_cmd =
           merge the results deterministically")
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
-      $ chrome_trace $ all_bugs $ with_metamorphic $ lint_arg $ plan_diff_arg
-      $ metrics_arg $ bundles_arg $ trace_sample_arg)
+      $ chrome_trace $ all_bugs $ oracle_flags $ backend_arg $ metrics_arg
+      $ bundles_arg $ trace_sample_arg)
 
 (* ---- replay ---- *)
 
@@ -535,6 +580,7 @@ let () =
        (Cmd.group info
           [
             list_bugs_cmd;
+            list_oracles_cmd;
             hunt_cmd;
             run_cmd;
             campaign_cmd;

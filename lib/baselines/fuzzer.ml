@@ -102,15 +102,7 @@ let run ~max_queries config =
             true
       in
       let gen_cfg =
-        {
-          Pqs.Gen_db.rng;
-          dialect = config.dialect;
-          table_count = 2;
-          max_columns = 3;
-          min_rows = 1;
-          max_rows = 6;
-          extra_statements = 8;
-        }
+        Pqs.Gen_db.Config.(make config.dialect |> with_rng rng)
       in
       let found =
         List.exists exec (Pqs.Gen_db.initial_statements gen_cfg)

@@ -1,26 +1,41 @@
 open Sqlval
 module A = Sqlast.Ast
 
-type config = {
-  rng : Rng.t;
-  dialect : Dialect.t;
-  table_count : int;
-  max_columns : int;
-  min_rows : int;
-  max_rows : int;
-  extra_statements : int;
-}
-
-let default_config ?(seed = 1) dialect =
-  {
-    rng = Rng.make ~seed;
-    dialect;
-    table_count = 2;
-    max_columns = 3;
-    min_rows = 1;
-    max_rows = 6;
-    extra_statements = 8;
+module Config = struct
+  type t = {
+    rng : Rng.t;
+    dialect : Dialect.t;
+    table_count : int;
+    max_columns : int;
+    min_rows : int;
+    max_rows : int;
+    extra_statements : int;
   }
+
+  let make ?(seed = 1) dialect =
+    {
+      rng = Rng.make ~seed;
+      dialect;
+      table_count = 2;
+      max_columns = 3;
+      min_rows = 1;
+      max_rows = 6;
+      extra_statements = 8;
+    }
+
+  let with_rng rng t = { t with rng }
+  let with_table_count table_count t = { t with table_count }
+  let with_max_columns max_columns t = { t with max_columns }
+  let with_min_rows min_rows t = { t with min_rows }
+  let with_max_rows max_rows t = { t with max_rows }
+  let with_extra_statements extra_statements t = { t with extra_statements }
+end
+
+type config = Config.t
+
+open Config
+
+let default_config = Config.make
 
 let is_sqlite cfg = Dialect.equal cfg.dialect Dialect.Sqlite_like
 let is_mysql cfg = Dialect.equal cfg.dialect Dialect.Mysql_like

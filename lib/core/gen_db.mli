@@ -7,17 +7,43 @@
     out (REPAIR/CHECK TABLE for mysql; DISCARD and CREATE STATISTICS for
     postgres; PRAGMA, VACUUM and REINDEX for sqlite). *)
 
-type config = {
-  rng : Rng.t;
-  dialect : Sqlval.Dialect.t;
-  table_count : int;  (** tables per database (paper uses few) *)
-  max_columns : int;
-  min_rows : int;  (** paper Section 3.4: low row counts (10–30) *)
-  max_rows : int;
-  extra_statements : int;  (** additional random DDL/DML statements *)
-}
+(** Generation configuration, built with {!Config.make} and narrowed with
+    the [with_*] setters:
+
+    {[
+      Gen_db.Config.(make dialect |> with_rng rng |> with_max_rows 5)
+    ]}
+
+    The record is private: read any field, but construct and update only
+    through the builder, so new knobs can be added without breaking
+    callers. *)
+module Config : sig
+  type t = private {
+    rng : Rng.t;
+    dialect : Sqlval.Dialect.t;
+    table_count : int;  (** tables per database (paper uses few) *)
+    max_columns : int;
+    min_rows : int;  (** paper Section 3.4: low row counts (10–30) *)
+    max_rows : int;
+    extra_statements : int;  (** additional random DDL/DML statements *)
+  }
+
+  (** Defaults: 2 tables, 3 columns, 1–6 rows, 8 extra statements; [seed]
+      (default 1) seeds a fresh {!Rng.t}. *)
+  val make : ?seed:int -> Sqlval.Dialect.t -> t
+
+  val with_rng : Rng.t -> t -> t
+  val with_table_count : int -> t -> t
+  val with_max_columns : int -> t -> t
+  val with_min_rows : int -> t -> t
+  val with_max_rows : int -> t -> t
+  val with_extra_statements : int -> t -> t
+end
+
+type config = Config.t
 
 val default_config : ?seed:int -> Sqlval.Dialect.t -> config
+[@@deprecated "use Gen_db.Config.make (and the with_* setters)"]
 
 (** The CREATE TABLE statements opening a database round. *)
 val initial_statements : config -> Sqlast.Ast.stmt list

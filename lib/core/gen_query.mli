@@ -28,11 +28,17 @@ type t = {
     extension (paper Section 3.4): targets may be scalar expressions whose
     expected values the oracle interpreter computes.  Fails when the
     interpreter cannot evaluate a generated expression (the caller retries
-    with a fresh expression). *)
+    with a fresh expression).
+
+    [exec_backend] (default [Interpreted]) is forwarded to the rectifier:
+    under [Compiled] each condition is translated once and its
+    rectification re-check reuses the memoized evaluation
+    ({!Rectify.rectify}). *)
 val synthesize :
   ?rectify:bool ->
   ?target:Tvl.t ->
   ?telemetry:Telemetry.t ->
+  ?exec_backend:Engine.Exec_backend.kind ->
   rng:Rng.t ->
   dialect:Dialect.t ->
   pivot:(Schema_info.table_info * Value.t array) list ->

@@ -787,3 +787,48 @@ and apply env f vs arg_exprs =
              (List.hd non_null) (List.tl non_null))
   | A.F_quote, [ v ] -> Ok (Value.Text (Value.to_sql_literal v))
   | _, _ -> Error "wrong number of arguments"
+
+(* ------------------------------------------------------------------ *)
+(* compiled containment checks                                         *)
+
+(* The rectifier evaluates an expression, then re-evaluates a decorated
+   form of the same expression (NOT e, e IS NULL) to double-check its own
+   output — under the tree walker that is up to three full AST walks per
+   pivot.  A compiled check shares one memoized evaluation of the base
+   expression and derives the decorated forms by value-level combinators
+   whose semantics provably match the corresponding AST nodes:
+
+   - [not_]: [unary env A.Not e] is [encode (not (truth (eval e)))];
+   - [is_null]: [is_pred ~negated:false e A.Is_null] is
+     [encode (of_bool (is_null (eval e)))];
+
+   so rectification's postcondition still checks real evaluations, just
+   without walking [e] again. *)
+module Compiled = struct
+  type t = { value : (Value.t, string) result Lazy.t; env : env }
+
+  let compile env e = { value = lazy (eval env e); env }
+  let value t = Lazy.force t.value
+
+  let tvl t =
+    let* v = value t in
+    truth t.env v
+
+  let not_ t =
+    {
+      t with
+      value =
+        lazy
+          (let* tv = tvl t in
+           Ok (encode t.env (Tvl.not_ tv)));
+    }
+
+  let is_null t =
+    {
+      t with
+      value =
+        lazy
+          (let* v = value t in
+           Ok (encode t.env (Tvl.of_bool (Value.is_null v))));
+    }
+end

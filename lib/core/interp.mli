@@ -37,3 +37,30 @@ val env_of_pivot :
 
 val eval : env -> Sqlast.Ast.expr -> (Value.t, string) result
 val eval_tvl : env -> Sqlast.Ast.expr -> (Tvl.t, string) result
+
+(** Compiled containment checks: evaluate an expression once, memoize the
+    result, and derive the truth values of its rectified decorations
+    ([NOT e], [e IS NULL]) from the memoized value instead of re-walking
+    the AST.  The combinators are value-level translations of the
+    corresponding AST nodes, so a {!Compiled.t} always agrees with
+    {!eval} on the equivalent expression; {!Rectify} still performs its
+    postcondition check against them. *)
+module Compiled : sig
+  type t
+
+  (** Translate [e] under [env] into a compiled check.  Evaluation is
+      deferred and memoized: forcing {!value} (or {!tvl}) walks the AST
+      at most once for the lifetime of the value. *)
+  val compile : env -> Sqlast.Ast.expr -> t
+
+  val value : t -> (Value.t, string) result
+  val tvl : t -> (Tvl.t, string) result
+
+  (** The compiled form of [A.Unary (A.Not, e)], sharing [e]'s memoized
+      evaluation. *)
+  val not_ : t -> t
+
+  (** The compiled form of [A.Is { negated = false; arg = e; rhs =
+      A.Is_null }], sharing [e]'s memoized evaluation. *)
+  val is_null : t -> t
+end

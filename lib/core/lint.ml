@@ -201,15 +201,9 @@ let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
       Engine.Session.create ~seed ~bugs:Engine.Bug.empty_set dialect
     in
     let gen_cfg =
-      {
-        Gen_db.rng;
-        dialect;
-        table_count = 2;
-        max_columns = 3;
-        min_rows = 1;
-        max_rows = 5;
-        extra_statements = 4;
-      }
+      Gen_db.Config.(
+        make dialect |> with_rng rng |> with_max_rows 5
+        |> with_extra_statements 4)
     in
     let exec stmt =
       match Engine.Session.execute session stmt with
@@ -288,3 +282,19 @@ let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
     sw_plans = !plans;
     sw_diags = List.rev !diags;
   }
+
+(* self-registration: the CLI flag, reducer and replay arms all derive
+   from this entry *)
+let () =
+  Oracle.Registry.register
+    {
+      Oracle.Registry.reg_name = "lint";
+      reg_doc = "add the static-analysis self-check oracle (see Analysis)";
+      reg_flag = Some "lint";
+      reg_default = false;
+      reg_kinds = [ Bug_report.Lint ];
+      reg_make = (fun () -> oracle);
+      (* static-analysis findings depend on schema state at analysis time,
+         not on replay behaviour *)
+      reg_recheck = Oracle.Registry.Not_recheckable;
+    }

@@ -135,7 +135,7 @@ let run ?(seed = 1) ?(bugs = Engine.Bug.empty_set) ~max_checks dialect =
     let db_seed = seed + (!round * 5413) in
     let rng = Rng.make ~seed:db_seed in
     let session = Engine.Session.create ~seed:db_seed ~bugs dialect in
-    let cfg = { (Gen_db.default_config dialect) with Gen_db.rng } in
+    let cfg = Gen_db.Config.(make dialect |> with_rng rng) in
     let log = ref [] in
     let exec stmt =
       log := stmt :: !log;

@@ -479,15 +479,9 @@ let sweep ?(queries_per_seed = 3) ?(max_plans = 4)
     let rng = Rng.make ~seed in
     let session = Engine.Session.create ~seed ~bugs dialect in
     let gen_cfg =
-      {
-        Gen_db.rng;
-        dialect;
-        table_count = 2;
-        max_columns = 3;
-        min_rows = 1;
-        max_rows = 5;
-        extra_statements = 4;
-      }
+      Gen_db.Config.(
+        make dialect |> with_rng rng |> with_max_rows 5
+        |> with_extra_statements 4)
     in
     let exec stmt =
       match Engine.Session.execute session stmt with
@@ -678,3 +672,42 @@ let sweep ?(queries_per_seed = 3) ?(max_plans = 4)
 let exclusive_seeds (r : sweep_result) =
   List.sort_uniq compare (List.map fst r.pd_divergences)
   |> List.filter (fun s -> not (List.mem s r.pd_containment_seeds))
+
+(* self-registration; the recheck rebuilds the database and re-runs the
+   multi-plan comparison, so reduced scripts must keep diverging *)
+let () =
+  let recheck ~dialect ~bugs ~oracle:_ stmts =
+    let session = Engine.Session.create ~bugs dialect in
+    (try
+       List.iter
+         (fun stmt ->
+           match Engine.Session.execute session stmt with
+           | Ok _ | Error _ -> ())
+         stmts
+     with Engine.Errors.Crash _ -> ());
+    let diverged check =
+      match check session with
+      | oc -> oc.oc_divergence <> None
+      | exception Engine.Errors.Crash _ -> false
+    in
+    (* on the final SELECT if the script ends in one (a per-query site
+       divergence), and over the join-order witnesses either way (a
+       Database_ready divergence has no trigger SELECT) *)
+    (match List.rev stmts with
+    | A.Select_stmt q :: _ -> diverged (fun s -> check_query s q)
+    | _ -> false)
+    || diverged check_join_orders
+  in
+  Oracle.Registry.register
+    {
+      Oracle.Registry.reg_name = "plan_diff";
+      reg_doc =
+        "add the plan-space differential oracle: re-execute every \
+         containment query under each enumerable access plan and \
+         cross-check the result multisets";
+      reg_flag = Some "plan-diff";
+      reg_default = false;
+      reg_kinds = [ Bug_report.Plan_diff ];
+      reg_make = (fun () -> oracle ());
+      reg_recheck = Oracle.Registry.Custom recheck;
+    }

@@ -43,8 +43,9 @@ let replay ~dialect ~bugs (stmts : A.stmt list) : replay_outcome =
     any_error_message = !err_msg;
   }
 
-let manifestation_check ~dialect ~bugs ~oracle : check =
- fun stmts ->
+(* the [Replay_outcome] recheck strategy: re-run the script and decide
+   from how it ended *)
+let replay_check ~dialect ~bugs ~oracle stmts =
   match oracle with
   | Bug_report.Crash -> (replay ~dialect ~bugs stmts).crashed
   | Bug_report.Error_oracle ->
@@ -71,37 +72,24 @@ let manifestation_check ~dialect ~bugs ~oracle : check =
           | Some 0 -> true
           | _ -> false)
       | _ -> false)
-  | Bug_report.Metamorphic ->
-      (* the violated partition relation cannot be re-checked from the
-         statement list alone, so reduction is a no-op for these reports *)
+  | Bug_report.Metamorphic | Bug_report.Lint | Bug_report.Plan_diff ->
+      (* these kinds declare [Not_recheckable] or [Custom] strategies in
+         the registry; reaching here means a registration is missing *)
       false
-  | Bug_report.Lint ->
-      (* static-analysis findings depend on schema state at analysis time,
-         not on replay behaviour; reduction is likewise a no-op *)
+
+(* dispatch on the registry's per-oracle recheck strategy; an unknown
+   kind falls back to the replay strategy (which rejects it) *)
+let manifestation_check ~dialect ~bugs ~oracle : check =
+ fun stmts ->
+  match Oracle.Registry.find_kind oracle with
+  | Some { Oracle.Registry.reg_recheck = Oracle.Registry.Not_recheckable; _ }
+    ->
       false
-  | Bug_report.Plan_diff ->
-      (* a real recheck: rebuild the database and re-run the multi-plan
-         comparison — on the final SELECT if the script ends in one (a
-         per-query site divergence), and over the join-order witnesses
-         either way (a Database_ready divergence has no trigger SELECT).
-         A candidate script manifests iff some plan still disagrees. *)
-      let session = Engine.Session.create ~bugs dialect in
-      (try
-         List.iter
-           (fun stmt ->
-             match Engine.Session.execute session stmt with
-             | Ok _ | Error _ -> ())
-           stmts
-       with Engine.Errors.Crash _ -> ());
-      let diverged check =
-        match check session with
-        | oc -> oc.Plan_diff.oc_divergence <> None
-        | exception Engine.Errors.Crash _ -> false
-      in
-      (match List.rev stmts with
-      | A.Select_stmt q :: _ -> diverged (fun s -> Plan_diff.check_query s q)
-      | _ -> false)
-      || diverged (fun s -> Plan_diff.check_join_orders s)
+  | Some { Oracle.Registry.reg_recheck = Oracle.Registry.Custom f; _ } ->
+      f ~dialect ~bugs ~oracle stmts
+  | Some { Oracle.Registry.reg_recheck = Oracle.Registry.Replay_outcome; _ }
+  | None ->
+      replay_check ~dialect ~bugs ~oracle stmts
 
 (* one pass of greedy single-statement deletion; [keep_last] protects the
    detecting query *)

@@ -68,9 +68,12 @@ let check_file path : (outcome, string) result =
     | Error e -> Error (Sqlparse.Parser.show_error e)
   in
   let* () = if stmts = [] then Error "empty statement body" else Ok () in
-  match oracle with
-  | Bug_report.Metamorphic | Bug_report.Lint ->
-      (* their verdicts live outside the script; the bundle still carries
+  (* recheckability comes from the oracle registry, the same table the
+     reducer dispatches on *)
+  match Oracle.Registry.find_kind oracle with
+  | Some { Oracle.Registry.reg_recheck = Oracle.Registry.Not_recheckable; _ }
+    ->
+      (* the verdict lives outside the script; the bundle still carries
          the trace and message for triage *)
       Ok
         {
@@ -80,8 +83,7 @@ let check_file path : (outcome, string) result =
           reproduced = true;
           detail = "verdict not re-checkable from the script alone";
         }
-  | Bug_report.Containment | Bug_report.Non_containment
-  | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Plan_diff ->
+  | Some _ | None ->
       let check = Reducer.manifestation_check ~dialect ~bugs ~oracle in
       let reproduced = check stmts in
       Ok

@@ -26,6 +26,9 @@ module Config = struct
     trace_sample : int;
         (** also dump full traces of every Nth healthy round (0 = off);
             requires [bundle_dir] *)
+    backend : Engine.Exec_backend.kind;
+        (** execution backend of the campaign's test sessions; ground-truth
+            confirmation always re-runs on the interpreted reference *)
   }
 
   let make ?(bugs = Engine.Bug.empty_set) ?(seed = 1) ?(table_count = 2)
@@ -34,7 +37,8 @@ module Config = struct
       ?(verify_ground_truth = true) ?(rectify = true) ?coverage
       ?(check_non_containment = true) ?(oracles = Oracle.defaults)
       ?(telemetry = Telemetry.noop) ?(trace = false) ?(trace_capacity = 1024)
-      ?bundle_dir ?(trace_sample = 0) dialect =
+      ?bundle_dir ?(trace_sample = 0)
+      ?(backend = Engine.Exec_backend.Interpreted) dialect =
     {
       dialect;
       bugs;
@@ -56,9 +60,11 @@ module Config = struct
       trace_capacity;
       bundle_dir;
       trace_sample;
+      backend;
     }
 
   let with_seed seed t = { t with seed }
+  let with_backend backend t = { t with backend }
   let with_oracles oracles t = { t with oracles }
   let with_coverage coverage t = { t with coverage }
   let with_telemetry telemetry t = { t with telemetry }
@@ -141,7 +147,8 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
   Trace.begin_round recorder ~seed:db_seed ~dialect:config.dialect;
   let session =
     Engine.Session.create ~seed:db_seed ~bugs:config.bugs
-      ?coverage:config.coverage ~telemetry:tele ~recorder config.dialect
+      ?coverage:config.coverage ~telemetry:tele ~recorder
+      ~backend:config.backend config.dialect
   in
   let ctx =
     {
@@ -272,15 +279,11 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
         match exec stmt with Some r -> Some r | None -> exec_all rest)
   in
   let gen_cfg =
-    {
-      Gen_db.rng;
-      dialect = config.dialect;
-      table_count = config.table_count;
-      max_columns = 3;
-      min_rows = 1;
-      max_rows = config.max_rows;
-      extra_statements = config.extra_statements;
-    }
+    Gen_db.Config.(
+      make config.dialect |> with_rng rng
+      |> with_table_count config.table_count
+      |> with_max_rows config.max_rows
+      |> with_extra_statements config.extra_statements)
   in
   (* ---- step 1: random database ---- *)
   let generation () =
@@ -415,7 +418,8 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
                           else
                             match
                               Gen_query.synthesize ~rectify:config.rectify
-                                ~target ~telemetry:tele ~rng
+                                ~target ~telemetry:tele
+                                ~exec_backend:config.backend ~rng
                                 ~dialect:config.dialect ~pivot
                                 ~case_sensitive_like:csl
                                 ~max_depth:config.max_depth

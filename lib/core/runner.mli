@@ -59,6 +59,13 @@ module Config : sig
         (** with [bundle_dir]: also write [round-<seed>-trace.json] for
             every Nth healthy round (0 = off) — baseline traces to compare
             failing rounds against *)
+    backend : Engine.Exec_backend.kind;
+        (** execution backend of the campaign's test sessions (default
+            [Interpreted]); also forwarded to the rectifier, so under
+            [Compiled] pivot containment checks compile each condition
+            once.  Ground-truth confirmation always re-runs findings on
+            the interpreted reference engine, keeping the two backends
+            mutually checking. *)
   }
 
   val make :
@@ -81,11 +88,15 @@ module Config : sig
     ?trace_capacity:int ->
     ?bundle_dir:string ->
     ?trace_sample:int ->
+    ?backend:Engine.Exec_backend.kind ->
     Sqlval.Dialect.t ->
     t
 
   (** Rebind the base seed (e.g. per worker). *)
   val with_seed : int -> t -> t
+
+  (** Select the execution backend. *)
+  val with_backend : Engine.Exec_backend.kind -> t -> t
 
   (** Swap the oracle set. *)
   val with_oracles : Oracle.t list -> t -> t

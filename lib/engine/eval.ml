@@ -105,8 +105,22 @@ let comparison_collation env a b =
 (* SQLite applies NUMERIC affinity to a TEXT/BLOB operand when the other
    side has numeric affinity (and TEXT affinity symmetrically); the paper's
    Listing 7 class depends on this machinery. *)
-let sqlite_affinity_adjust env ea eb va vb =
-  if bug env Bug.Sq_affinity_compare_skip then (va, vb)
+let adjust_numeric v =
+  match v with
+  | Value.Text _ | Value.Blob _ -> Coerce.apply_affinity Datatype.A_numeric v
+  | _ -> v
+
+let adjust_text v =
+  match v with
+  | Value.Int _ | Value.Real _ -> Coerce.apply_affinity Datatype.A_text v
+  | _ -> v
+
+(* The affinity decision only reads operand metadata, so it can be taken
+   once per (expression pair, binding layout) and reused per row — the
+   compiled backend does exactly that via the [*_prep] entry points. *)
+let sqlite_affinity_prep env ea eb : (Value.t -> Value.t) * (Value.t -> Value.t)
+    =
+  if bug env Bug.Sq_affinity_compare_skip then (Fun.id, Fun.id)
   else
     let affinity_of e =
       Option.map (fun (dt, _) -> Datatype.affinity dt) (column_meta env e)
@@ -121,21 +135,11 @@ let sqlite_affinity_adjust env ea eb va vb =
     in
     let textish aff = aff = Some Datatype.A_text in
     let aa = affinity_of ea and ab = affinity_of eb in
-    let adjust_numeric v =
-      match v with
-      | Value.Text _ | Value.Blob _ -> Coerce.apply_affinity Datatype.A_numeric v
-      | _ -> v
-    in
-    let adjust_text v =
-      match v with
-      | Value.Int _ | Value.Real _ -> Coerce.apply_affinity Datatype.A_text v
-      | _ -> v
-    in
-    if numericish aa && not (numericish ab) then (va, adjust_numeric vb)
-    else if numericish ab && not (numericish aa) then (adjust_numeric va, vb)
-    else if textish aa && ab = None then (va, adjust_text vb)
-    else if textish ab && aa = None then (adjust_text va, vb)
-    else (va, vb)
+    if numericish aa && not (numericish ab) then (Fun.id, adjust_numeric)
+    else if numericish ab && not (numericish aa) then (adjust_numeric, Fun.id)
+    else if textish aa && ab = None then (Fun.id, adjust_text)
+    else if textish ab && aa = None then (adjust_text, Fun.id)
+    else (Fun.id, Fun.id)
 
 let text_compare env coll a b =
   if Collation.equal coll Collation.Rtrim
@@ -188,8 +192,19 @@ let int_column_width env e =
   | Some (Datatype.Int { width; _ }, _) -> Some width
   | _ -> None
 
-let compare_op env op ea eb (va : Value.t) (vb : Value.t) :
-    (Value.t, Errors.t) result =
+(* The static slice of a comparison: everything derived from the operand
+   expressions and binding metadata (never from row values), computed
+   once and replayed per row by {!compare_apply}. *)
+type cmp_prep = {
+  cp_op : A.binop;
+  cp_coll : Collation.t;
+  cp_null_safe : bool;
+  cp_oor_nullsafe : bool;  (* mysql <=> against an out-of-range literal *)
+  cp_fa : Value.t -> Value.t;  (* sqlite affinity pre-adjustment, operand a *)
+  cp_fb : Value.t -> Value.t;
+}
+
+let compare_prep env op ea eb : cmp_prep =
   let coll = comparison_collation env ea eb in
   let null_safe = match op with A.Null_safe_eq -> true | _ -> false in
   (* mysql Listing 12 class: <=> against an out-of-range literal *)
@@ -207,8 +222,24 @@ let compare_op env op ea eb (va : Value.t) (vb : Value.t) :
     in
     beyond ea eb || beyond eb ea
   in
-  if out_of_range_nullsafe then Ok (bool_value env.dialect Tvl.Unknown)
-  else if null_safe then begin
+  let fa, fb =
+    match env.dialect with
+    | Dialect.Sqlite_like -> sqlite_affinity_prep env ea eb
+    | Dialect.Mysql_like | Dialect.Postgres_like -> (Fun.id, Fun.id)
+  in
+  {
+    cp_op = op;
+    cp_coll = coll;
+    cp_null_safe = null_safe;
+    cp_oor_nullsafe = out_of_range_nullsafe;
+    cp_fa = fa;
+    cp_fb = fb;
+  }
+
+let compare_apply env (p : cmp_prep) (va : Value.t) (vb : Value.t) :
+    (Value.t, Errors.t) result =
+  if p.cp_oor_nullsafe then Ok (bool_value env.dialect Tvl.Unknown)
+  else if p.cp_null_safe then begin
     (* null-safe equality never yields NULL *)
     let eq =
       match (va, vb) with
@@ -217,12 +248,11 @@ let compare_op env op ea eb (va : Value.t) (vb : Value.t) :
       | _ -> (
           match env.dialect with
           | Dialect.Sqlite_like ->
-              let va, vb = sqlite_affinity_adjust env ea eb va vb in
-              compare_values env coll va vb = 0
+              compare_values env p.cp_coll (p.cp_fa va) (p.cp_fb vb) = 0
           | Dialect.Mysql_like ->
               let va, vb = mysql_comparison_values va vb in
-              compare_values env coll va vb = 0
-          | Dialect.Postgres_like -> compare_values env coll va vb = 0)
+              compare_values env p.cp_coll va vb = 0
+          | Dialect.Postgres_like -> compare_values env p.cp_coll va vb = 0)
     in
     if Dialect.equal env.dialect Dialect.Postgres_like
        && not (pg_comparable va vb)
@@ -234,18 +264,28 @@ let compare_op env op ea eb (va : Value.t) (vb : Value.t) :
   else
     match env.dialect with
     | Dialect.Sqlite_like ->
-        let va, vb = sqlite_affinity_adjust env ea eb va vb in
-        Ok (bool_value env.dialect
-              (Tvl.of_bool (op_of_compare op (compare_values env coll va vb))))
+        Ok
+          (bool_value env.dialect
+             (Tvl.of_bool
+                (op_of_compare p.cp_op
+                   (compare_values env p.cp_coll (p.cp_fa va) (p.cp_fb vb)))))
     | Dialect.Mysql_like ->
         let va, vb = mysql_comparison_values va vb in
-        Ok (bool_value env.dialect
-              (Tvl.of_bool (op_of_compare op (compare_values env coll va vb))))
+        Ok
+          (bool_value env.dialect
+             (Tvl.of_bool
+                (op_of_compare p.cp_op (compare_values env p.cp_coll va vb))))
     | Dialect.Postgres_like ->
         if not (pg_comparable va vb) then Error (pg_type_mismatch va vb)
         else
-          Ok (bool_value env.dialect
-                (Tvl.of_bool (op_of_compare op (compare_values env coll va vb))))
+          Ok
+            (bool_value env.dialect
+               (Tvl.of_bool
+                  (op_of_compare p.cp_op (compare_values env p.cp_coll va vb))))
+
+let compare_op env op ea eb (va : Value.t) (vb : Value.t) :
+    (Value.t, Errors.t) result =
+  compare_apply env (compare_prep env op ea eb) va vb
 
 (* ------------------------------------------------------------------ *)
 (* Arithmetic                                                          *)
@@ -717,6 +757,276 @@ let apply_func env (f : A.func) (args : Value.t list) (arg_exprs : A.expr list)
   | A.F_quote, _ -> Error (wrong_arity "QUOTE")
 
 (* ------------------------------------------------------------------ *)
+(* Value-level predicate bodies                                        *)
+
+(* The post-operand-evaluation bodies of the predicate evaluators,
+   shared verbatim by the tree-walking interpreter below and the closure
+   compiler (Engine.Compile): every dialect quirk and injected bug that
+   depends only on operand *values* (plus statically resolvable column
+   metadata) lives here, so both execution backends inherit identical
+   semantics from one definition. *)
+
+let neg_value env (v : Value.t) : (Value.t, Errors.t) result =
+  if Value.is_null v then Ok Value.Null
+  else
+    match env.dialect with
+    | Dialect.Postgres_like -> (
+        let* n = pg_numeric_operand v in
+        match n with
+        | Value.Int i -> (
+            match Numeric.checked_neg i with
+            | Some r -> Ok (Value.Int r)
+            | None -> Error overflow_error)
+        | Value.Real r -> Ok (Value.Real (-.r))
+        | _ -> Ok Value.Null)
+    | Dialect.Sqlite_like | Dialect.Mysql_like -> (
+        match Coerce.to_numeric v with
+        | Value.Int i -> (
+            match Numeric.checked_neg i with
+            | Some r -> Ok (Value.Int r)
+            | None -> Ok (Value.Real 9.223372036854775808e18))
+        | Value.Real r -> Ok (Value.Real (-.r))
+        | _ -> Ok Value.Null)
+
+let bit_not_value env (v : Value.t) : (Value.t, Errors.t) result =
+  if Value.is_null v then Ok Value.Null
+  else
+    match env.dialect with
+    | Dialect.Postgres_like -> (
+        match v with
+        | Value.Int i -> Ok (Value.Int (Int64.lognot i))
+        | _ -> Error (Errors.make Errors.Type_error "~ requires integer"))
+    | Dialect.Sqlite_like | Dialect.Mysql_like -> (
+        match to_int64 v with
+        | Some i -> Ok (Value.Int (Int64.lognot i))
+        | None -> Ok Value.Null)
+
+let is_finish env ~negated t =
+  let t = if negated then Tvl.not_ t else t in
+  Ok (bool_value env.dialect t)
+
+let is_bool_value env ~negated ~(want : Tvl.t) (v : Value.t) :
+    (Value.t, Errors.t) result =
+  match v with
+  | Value.Null ->
+      (* IS TRUE/FALSE of NULL is FALSE; IS NOT TRUE of NULL is TRUE —
+         unless the injected Listing-1-adjacent bug flips it *)
+      if
+        negated
+        && Dialect.equal env.dialect Dialect.Sqlite_like
+        && bug env Bug.Sq_is_not_true_null
+      then Ok (bool_value env.dialect Tvl.False)
+      else is_finish env ~negated Tvl.False
+  | _ ->
+      let* t = value_tvl env v in
+      is_finish env ~negated (Tvl.of_bool (Tvl.equal t want))
+
+(* The static slice of a BETWEEN: collation choice and the two sqlite
+   affinity adjustments, all metadata-driven. *)
+type between_prep = {
+  bp_negated : bool;
+  bp_coll : Collation.t;
+  bp_lo : (Value.t -> Value.t) * (Value.t -> Value.t);
+  bp_hi : (Value.t -> Value.t) * (Value.t -> Value.t);
+}
+
+let between_prep env ~negated ~arg ~lo ~hi : between_prep =
+  let coll =
+    if bug env Bug.Sq_between_collate_ignored
+       && Dialect.equal env.dialect Dialect.Sqlite_like
+    then Collation.Binary
+    else
+      match explicit_collation env arg with
+      | Some c -> c
+      | None -> comparison_collation env lo hi
+  in
+  let adj a b =
+    match env.dialect with
+    | Dialect.Sqlite_like -> sqlite_affinity_prep env a b
+    | Dialect.Mysql_like | Dialect.Postgres_like -> (Fun.id, Fun.id)
+  in
+  { bp_negated = negated; bp_coll = coll; bp_lo = adj arg lo; bp_hi = adj arg hi }
+
+let between_apply env (p : between_prep) (v : Value.t) (vl : Value.t)
+    (vh : Value.t) : (Value.t, Errors.t) result =
+  let* () =
+    if Dialect.equal env.dialect Dialect.Postgres_like
+       && not (pg_comparable v vl && pg_comparable v vh)
+    then Error (pg_type_mismatch v vl)
+    else Ok ()
+  in
+  let bound (fa, fb) w cmp =
+    if Value.is_null v || Value.is_null w then Tvl.Unknown
+    else
+      let x, y =
+        match env.dialect with
+        | Dialect.Sqlite_like -> (fa v, fb w)
+        | Dialect.Mysql_like -> mysql_comparison_values v w
+        | Dialect.Postgres_like -> (v, w)
+      in
+      Tvl.of_bool (cmp (compare_values env p.bp_coll x y) 0)
+  in
+  let ge_lo = bound p.bp_lo vl ( >= ) in
+  let le_hi = bound p.bp_hi vh ( <= ) in
+  let t = Tvl.and_ ge_lo le_hi in
+  let negated = p.bp_negated in
+  let t = if negated then Tvl.not_ t else t in
+  Ok (bool_value env.dialect t)
+
+let between_value env ~negated ~arg ~lo ~hi (v : Value.t) (vl : Value.t)
+    (vh : Value.t) : (Value.t, Errors.t) result =
+  between_apply env (between_prep env ~negated ~arg ~lo ~hi) v vl vh
+
+(* the IN-list walk fell off the end without a match: NULL items poison
+   the verdict to UNKNOWN unless the injected bug forces FALSE *)
+let in_empty_tvl env ~saw_null : Tvl.t =
+  if saw_null then
+    if
+      Dialect.equal env.dialect Dialect.Sqlite_like
+      && bug env Bug.Sq_null_in_list_false
+    then Tvl.False
+    else Tvl.Unknown
+  else Tvl.False
+
+let like_escape_char (ve : Value.t) : (char option, Errors.t) result =
+  match ve with
+  | Value.Text s when String.length s = 1 -> Ok (Some s.[0])
+  | Value.Null -> Ok None
+  | _ ->
+      Error
+        (Errors.make Errors.Invalid_function
+           "ESCAPE expression must be a single character")
+
+(* The static slice of a LIKE: case sensitivity and the integer-affinity
+   optimization bugs, both decided from the argument's metadata. *)
+type like_prep = {
+  lp_negated : bool;
+  lp_case_sensitive : bool;
+  lp_int_affinity_buggy : bool;
+}
+
+let like_prep env ~negated ~arg : like_prep =
+  let case_sensitive =
+    match env.dialect with
+    | Dialect.Postgres_like -> true
+    | Dialect.Mysql_like -> false
+    | Dialect.Sqlite_like ->
+        let base = env.case_sensitive_like in
+        (* injected: LIKE on a NOCASE column becomes case sensitive *)
+        if
+          bug env Bug.Sq_nocase_like_case_sensitive
+          &&
+          match column_meta env arg with
+          | Some (_, Collation.Nocase) -> true
+          | _ -> false
+        then true
+        else base
+  in
+  (* paper Listing 7 class: on an INTEGER-affinity column the optimized
+     LIKE compares numeric prefixes instead of text *)
+  let int_affinity_buggy =
+    Dialect.equal env.dialect Dialect.Sqlite_like
+    && ((bug env Bug.Sq_like_int_affinity_opt
+         &&
+         match column_meta env arg with
+         | Some (dt, _) -> Datatype.affinity dt = Datatype.A_integer
+         | None -> false)
+       || (bug env Bug.Sq_dup_like_opt_nocase
+           &&
+           match column_meta env arg with
+           | Some (dt, c) ->
+               Datatype.affinity dt = Datatype.A_integer
+               && Collation.equal c Collation.Nocase
+           | None -> false))
+  in
+  {
+    lp_negated = negated;
+    lp_case_sensitive = case_sensitive;
+    lp_int_affinity_buggy = int_affinity_buggy;
+  }
+
+let like_apply env (lp : like_prep) (v : Value.t) (p : Value.t)
+    (esc : char option) : (Value.t, Errors.t) result =
+  if Value.is_null v || Value.is_null p then
+    Ok (bool_value env.dialect Tvl.Unknown)
+  else
+    let* () =
+      if Dialect.equal env.dialect Dialect.Postgres_like then
+        match (v, p) with
+        | (Value.Text _ | Value.Null), (Value.Text _ | Value.Null) -> Ok ()
+        | _ -> Error (pg_type_mismatch v p)
+      else Ok ()
+    in
+    let negated = lp.lp_negated in
+    let case_sensitive = lp.lp_case_sensitive in
+    let int_affinity_buggy = lp.lp_int_affinity_buggy in
+    let matched =
+      if int_affinity_buggy then
+        (* the optimized LIKE ranges over numeric keys: non-numeric text
+           never matches, numeric text matches on numeric equality *)
+        match
+          ( Numeric.parse_exact (text_of env v),
+            Numeric.parse_exact (text_of env p) )
+        with
+        | Some a, Some b -> a = b
+        | _ -> false
+      else
+        Like_matcher.like ~case_sensitive ?escape:esc
+          ~pattern:(text_of env p) (text_of env v)
+    in
+    let t = Tvl.of_bool matched in
+    let t = if negated then Tvl.not_ t else t in
+    Ok (bool_value env.dialect t)
+
+let like_value env ~negated ~arg (v : Value.t) (p : Value.t)
+    (esc : char option) : (Value.t, Errors.t) result =
+  like_apply env (like_prep env ~negated ~arg) v p esc
+
+let glob_value env ~negated (v : Value.t) (p : Value.t) :
+    (Value.t, Errors.t) result =
+  if Value.is_null v || Value.is_null p then
+    Ok (bool_value env.dialect Tvl.Unknown)
+  else
+    let pat = text_of env p in
+    let pat =
+      (* injected: character-class range upper bounds become exclusive,
+         implemented by shrinking each range in the pattern *)
+      if bug env Bug.Sq_glob_range_exclusive then begin
+        let b = Bytes.of_string pat in
+        let n = Bytes.length b in
+        for i = 0 to n - 3 do
+          if
+            Bytes.get b i = '-'
+            && i > 0
+            && Bytes.get b (i + 1) <> ']'
+            && Char.code (Bytes.get b (i + 1)) > 0
+          then Bytes.set b (i + 1) (Char.chr (Char.code (Bytes.get b (i + 1)) - 1))
+        done;
+        Bytes.to_string b
+      end
+      else pat
+    in
+    let matched = Like_matcher.glob ~pattern:pat (text_of env v) in
+    let t = Tvl.of_bool matched in
+    let t = if negated then Tvl.not_ t else t in
+    Ok (bool_value env.dialect t)
+
+let cast_value env ty (v : Value.t) : (Value.t, Errors.t) result =
+  (* mysql unsigned-cast bug: negative integers keep their signed value *)
+  match (env.dialect, ty) with
+  | Dialect.Mysql_like, Datatype.Int { unsigned = true; _ }
+    when bug env Bug.My_unsigned_cast_signed_compare
+         || bug env Bug.My_dup_unsigned_compare -> (
+      match Coerce.to_numeric v with
+      | Value.Int i -> Ok (Value.Int i) (* buggy: stays signed *)
+      | Value.Real r -> Ok (Value.Int (Int64.of_float (Float.round r)))
+      | Value.Null -> Ok Value.Null
+      | _ -> Ok (Value.Int 0L))
+  | _ ->
+      Result.map_error (Errors.make Errors.Type_error)
+        (Coerce.cast env.dialect ty v)
+
+(* ------------------------------------------------------------------ *)
 (* Main evaluator                                                      *)
 
 let rec eval env (e : A.expr) : (Value.t, Errors.t) result =
@@ -759,46 +1069,17 @@ and eval_unary env op inner =
       | _ ->
           let* t = eval_tvl env inner in
           Ok (bool_value env.dialect (Tvl.not_ t)))
-  | A.Neg -> (
+  | A.Neg ->
       cov env "unop.neg";
       let* v = eval env inner in
-      if Value.is_null v then Ok Value.Null
-      else
-        match env.dialect with
-        | Dialect.Postgres_like -> (
-            let* n = pg_numeric_operand v in
-            match n with
-            | Value.Int i -> (
-                match Numeric.checked_neg i with
-                | Some r -> Ok (Value.Int r)
-                | None -> Error overflow_error)
-            | Value.Real r -> Ok (Value.Real (-.r))
-            | _ -> Ok Value.Null)
-        | Dialect.Sqlite_like | Dialect.Mysql_like -> (
-            match Coerce.to_numeric v with
-            | Value.Int i -> (
-                match Numeric.checked_neg i with
-                | Some r -> Ok (Value.Int r)
-                | None -> Ok (Value.Real 9.223372036854775808e18))
-            | Value.Real r -> Ok (Value.Real (-.r))
-            | _ -> Ok Value.Null))
+      neg_value env v
   | A.Pos ->
       cov env "unop.pos";
       eval env inner
-  | A.Bit_not -> (
+  | A.Bit_not ->
       cov env "unop.bit_not";
       let* v = eval env inner in
-      if Value.is_null v then Ok Value.Null
-      else
-        match env.dialect with
-        | Dialect.Postgres_like -> (
-            match v with
-            | Value.Int i -> Ok (Value.Int (Int64.lognot i))
-            | _ -> Error (Errors.make Errors.Type_error "~ requires integer"))
-        | Dialect.Sqlite_like | Dialect.Mysql_like -> (
-            match to_int64 v with
-            | Some i -> Ok (Value.Int (Int64.lognot i))
-            | None -> Ok Value.Null))
+      bit_not_value env v
 
 and eval_binary env op a b =
   match op with
@@ -869,30 +1150,15 @@ and eval_binary env op a b =
 
 and eval_is env ~negated arg rhs =
   cov env "pred.is";
-  let finish t =
-    let t = if negated then Tvl.not_ t else t in
-    Ok (bool_value env.dialect t)
-  in
+  let finish t = is_finish env ~negated t in
   match rhs with
   | A.Is_null ->
       let* v = eval env arg in
       finish (Tvl.of_bool (Value.is_null v))
-  | A.Is_true | A.Is_false -> (
+  | A.Is_true | A.Is_false ->
       let* v = eval env arg in
       let want = match rhs with A.Is_true -> Tvl.True | _ -> Tvl.False in
-      match v with
-      | Value.Null ->
-          (* IS TRUE/FALSE of NULL is FALSE; IS NOT TRUE of NULL is TRUE —
-             unless the injected Listing-1-adjacent bug flips it *)
-          if
-            negated
-            && Dialect.equal env.dialect Dialect.Sqlite_like
-            && bug env Bug.Sq_is_not_true_null
-          then Ok (bool_value env.dialect Tvl.False)
-          else finish Tvl.False
-      | _ ->
-          let* t = value_tvl env v in
-          finish (Tvl.of_bool (Tvl.equal t want)))
+      is_bool_value env ~negated ~want v
   | A.Is_expr other ->
       (* sqlite's IS: null-safe equality over scalars *)
       if not (Dialect.equal env.dialect Dialect.Sqlite_like) then
@@ -919,50 +1185,10 @@ and eval_is env ~negated arg rhs =
 
 and eval_between env ~negated arg lo hi =
   cov env "pred.between";
-  let coll =
-    if bug env Bug.Sq_between_collate_ignored
-       && Dialect.equal env.dialect Dialect.Sqlite_like
-    then Collation.Binary
-    else
-      match explicit_collation env arg with
-      | Some c -> c
-      | None -> comparison_collation env lo hi
-  in
   let* v = eval env arg in
   let* vl = eval env lo in
   let* vh = eval env hi in
-  let cmp x y =
-    if Value.is_null x || Value.is_null y then Tvl.Unknown
-    else
-      let x, y =
-        match env.dialect with
-        | Dialect.Sqlite_like -> sqlite_affinity_adjust env arg lo x y
-        | Dialect.Mysql_like -> mysql_comparison_values x y
-        | Dialect.Postgres_like -> (x, y)
-      in
-      Tvl.of_bool (compare_values env coll x y >= 0)
-  in
-  let* () =
-    if Dialect.equal env.dialect Dialect.Postgres_like
-       && not (pg_comparable v vl && pg_comparable v vh)
-    then Error (pg_type_mismatch v vl)
-    else Ok ()
-  in
-  let ge_lo = cmp v vl in
-  let le_hi =
-    if Value.is_null v || Value.is_null vh then Tvl.Unknown
-    else
-      let x, y =
-        match env.dialect with
-        | Dialect.Sqlite_like -> sqlite_affinity_adjust env arg hi v vh
-        | Dialect.Mysql_like -> mysql_comparison_values v vh
-        | Dialect.Postgres_like -> (v, vh)
-      in
-      Tvl.of_bool (compare_values env coll x y <= 0)
-  in
-  let t = Tvl.and_ ge_lo le_hi in
-  let t = if negated then Tvl.not_ t else t in
-  Ok (bool_value env.dialect t)
+  between_value env ~negated ~arg ~lo ~hi v vl vh
 
 and eval_in env ~negated arg list =
   cov env "pred.in";
@@ -970,17 +1196,7 @@ and eval_in env ~negated arg list =
   if Value.is_null v then Ok (bool_value env.dialect Tvl.Unknown)
   else
     let rec walk saw_null = function
-      | [] ->
-          let t =
-            if saw_null then
-              if
-                Dialect.equal env.dialect Dialect.Sqlite_like
-                && bug env Bug.Sq_null_in_list_false
-              then Tvl.False
-              else Tvl.Unknown
-            else Tvl.False
-          in
-          Ok t
+      | [] -> Ok (in_empty_tvl env ~saw_null)
       | item :: rest ->
           let* vi = eval env item in
           if Value.is_null vi then walk true rest
@@ -1002,74 +1218,9 @@ and eval_like env ~negated arg pattern escape =
     | None -> Ok None
     | Some e ->
         let* ve = eval env e in
-        (match ve with
-        | Value.Text s when String.length s = 1 -> Ok (Some s.[0])
-        | Value.Null -> Ok None
-        | _ ->
-            Error
-              (Errors.make Errors.Invalid_function
-                 "ESCAPE expression must be a single character"))
+        like_escape_char ve
   in
-  if Value.is_null v || Value.is_null p then
-    Ok (bool_value env.dialect Tvl.Unknown)
-  else
-    let* () =
-      if Dialect.equal env.dialect Dialect.Postgres_like then
-        match (v, p) with
-        | (Value.Text _ | Value.Null), (Value.Text _ | Value.Null) -> Ok ()
-        | _ -> Error (pg_type_mismatch v p)
-      else Ok ()
-    in
-    let case_sensitive =
-      match env.dialect with
-      | Dialect.Postgres_like -> true
-      | Dialect.Mysql_like -> false
-      | Dialect.Sqlite_like ->
-          let base = env.case_sensitive_like in
-          (* injected: LIKE on a NOCASE column becomes case sensitive *)
-          if
-            bug env Bug.Sq_nocase_like_case_sensitive
-            &&
-            match column_meta env arg with
-            | Some (_, Collation.Nocase) -> true
-            | _ -> false
-          then true
-          else base
-    in
-    (* paper Listing 7 class: on an INTEGER-affinity column the optimized
-       LIKE compares numeric prefixes instead of text *)
-    let int_affinity_buggy =
-      Dialect.equal env.dialect Dialect.Sqlite_like
-      && ((bug env Bug.Sq_like_int_affinity_opt
-           &&
-           match column_meta env arg with
-           | Some (dt, _) -> Datatype.affinity dt = Datatype.A_integer
-           | None -> false)
-         || (bug env Bug.Sq_dup_like_opt_nocase
-             &&
-             match column_meta env arg with
-             | Some (dt, c) ->
-                 Datatype.affinity dt = Datatype.A_integer
-                 && Collation.equal c Collation.Nocase
-             | None -> false))
-    in
-    let matched =
-      if int_affinity_buggy then
-        (* the optimized LIKE ranges over numeric keys: non-numeric text
-           never matches, numeric text matches on numeric equality *)
-        match
-          ( Numeric.parse_exact (text_of env v),
-            Numeric.parse_exact (text_of env p) )
-        with
-        | Some a, Some b -> a = b
-        | _ -> false
-      else
-        Like_matcher.like ~case_sensitive ?escape:esc
-          ~pattern:(text_of env p) (text_of env v)
-    in
-    let t = Tvl.of_bool matched in
-    let t = if negated then Tvl.not_ t else t in
-    Ok (bool_value env.dialect t)
+  like_value env ~negated ~arg v p esc
 
 and eval_glob env ~negated arg pattern =
   cov env "pred.glob";
@@ -1078,49 +1229,12 @@ and eval_glob env ~negated arg pattern =
   else
     let* v = eval env arg in
     let* p = eval env pattern in
-    if Value.is_null v || Value.is_null p then
-      Ok (bool_value env.dialect Tvl.Unknown)
-    else
-      let pat = text_of env p in
-      let pat =
-        (* injected: character-class range upper bounds become exclusive,
-           implemented by shrinking each range in the pattern *)
-        if bug env Bug.Sq_glob_range_exclusive then begin
-          let b = Bytes.of_string pat in
-          let n = Bytes.length b in
-          for i = 0 to n - 3 do
-            if
-              Bytes.get b i = '-'
-              && i > 0
-              && Bytes.get b (i + 1) <> ']'
-              && Char.code (Bytes.get b (i + 1)) > 0
-            then Bytes.set b (i + 1) (Char.chr (Char.code (Bytes.get b (i + 1)) - 1))
-          done;
-          Bytes.to_string b
-        end
-        else pat
-      in
-      let matched = Like_matcher.glob ~pattern:pat (text_of env v) in
-      let t = Tvl.of_bool matched in
-      let t = if negated then Tvl.not_ t else t in
-      Ok (bool_value env.dialect t)
+    glob_value env ~negated v p
 
 and eval_cast env ty inner =
   cov env "pred.cast";
   let* v = eval env inner in
-  (* mysql unsigned-cast bug: negative integers keep their signed value *)
-  match (env.dialect, ty) with
-  | Dialect.Mysql_like, Datatype.Int { unsigned = true; _ }
-    when bug env Bug.My_unsigned_cast_signed_compare
-         || bug env Bug.My_dup_unsigned_compare -> (
-      match Coerce.to_numeric v with
-      | Value.Int i -> Ok (Value.Int i) (* buggy: stays signed *)
-      | Value.Real r -> Ok (Value.Int (Int64.of_float (Float.round r)))
-      | Value.Null -> Ok Value.Null
-      | _ -> Ok (Value.Int 0L))
-  | _ ->
-      Result.map_error (Errors.make Errors.Type_error)
-        (Coerce.cast env.dialect ty v)
+  cast_value env ty v
 
 and eval_func env f args =
   cov env ("func." ^ func_point f);

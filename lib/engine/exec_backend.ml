@@ -1,0 +1,52 @@
+(* The execution-backend seam: one interface, two implementations.
+
+   The tree-walking interpreter is the reference semantics; the closure
+   compiler is the fast path.  Everything that runs a query — sessions,
+   EXPLAIN ANALYZE, forced-plan probes — goes through a backend value,
+   so the two implementations stay interchangeable and each can serve
+   as a differential cross-check of the other. *)
+
+type kind = Interpreted | Compiled
+
+let all = [ Interpreted; Compiled ]
+let name = function Interpreted -> "interpreted" | Compiled -> "compiled"
+
+let description = function
+  | Interpreted -> "tree-walking row-at-a-time evaluator (reference)"
+  | Compiled -> "closure-compiled batched executor"
+
+let of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "interpreted" | "interp" -> Ok Interpreted
+  | "compiled" | "compile" -> Ok Compiled
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown execution backend %S (expected \"interpreted\" or \
+            \"compiled\")"
+           other)
+
+module type S = sig
+  val name : string
+
+  val run_query :
+    Executor.ctx -> Sqlast.Ast.query -> (Executor.result_set, Errors.t) result
+end
+
+module Interpreted_backend : S = struct
+  let name = "interpreted"
+  let run_query = Executor.run_query
+end
+
+module Compiled_backend : S = struct
+  let name = "compiled"
+  let run_query = Compile.run_query
+end
+
+let of_kind : kind -> (module S) = function
+  | Interpreted -> (module Interpreted_backend)
+  | Compiled -> (module Compiled_backend)
+
+let run_query kind =
+  let (module B) = of_kind kind in
+  B.run_query

@@ -121,8 +121,8 @@ let swap_join_forced ctx =
 let tracing ctx = Trace.enabled ctx.recorder
 let op_clock ctx = if tracing ctx then Telemetry.Clock.now_ns_int () else 0
 
-let op_event ctx ~op ?(detail = "") ~rows_in ~rows_out ?(btree = (0, 0)) ~t0 ()
-    =
+let op_event ctx ~op ?(detail = "") ~rows_in ~rows_out ?(batches = 0)
+    ?(btree = (0, 0)) ~t0 () =
   if tracing ctx then begin
     let now = Telemetry.Clock.now_ns_int () in
     Trace.record_at ctx.recorder ~now_ns:now
@@ -132,6 +132,7 @@ let op_event ctx ~op ?(detail = "") ~rows_in ~rows_out ?(btree = (0, 0)) ~t0 ()
            detail;
            rows_in;
            rows_out;
+           batches;
            btree_nodes = fst btree;
            btree_entries = snd btree;
            dur_ns = now - t0;
@@ -446,15 +447,15 @@ type scanned = {
 
 let view_columns (rs : result_set) = rs.rs_columns
 
-(* Returns the binding tuples of one FROM item. *)
-let rec from_tuples ctx fctx ~where (item : A.from_item) :
-    (scanned, Errors.t) result =
-  match item with
-  | A.F_table { name; alias } -> (
-      let alias_name = Option.value ~default:name alias in
-      match Storage.Catalog.find_table ctx.catalog name with
-      | Some ts ->
-          let schema = ts.Storage.Catalog.schema in
+(* Scan one base table under [where]: injected planner/index bug gates,
+   access-path choice (with forced-plan override), rowid fetch, and the
+   SCAN flight-recorder annotation.  Shared by the interpreted executor
+   below and the compiled backend (Compile), which passes [block_size]
+   so the SCAN operator reports its batch count. *)
+let scan_rows ctx fctx ~where ~table:name ~alias:alias_name ?block_size
+    (ts : Storage.Catalog.table_state) :
+    ((Storage.Row.t * Storage.Schema.table) list * bool, Errors.t) result =
+  let schema = ts.Storage.Catalog.schema in
           let table_indexes =
             Storage.Catalog.indexes_on ctx.catalog
               schema.Storage.Schema.table_name
@@ -526,7 +527,7 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
             && ((bug ctx Bug.My_memory_join_cast && fctx.cond_has_cast)
                || (bug ctx Bug.My_dup_memory_join && fctx.cond_has_ifnull))
           in
-          if memory_bug then Ok { tuples = []; used_skip_scan = false }
+          if memory_bug then Ok ([], false)
           else begin
             (match schema.Storage.Schema.engine with
             | Some A.E_memory -> cov ctx "ddl.engine_memory"
@@ -604,23 +605,42 @@ let rec from_tuples ctx fctx ~where (item : A.from_item) :
                       | None -> None)
                     rowids
             in
-            let tuples =
-              List.map
-                (fun (row, sch) ->
-                  [ binding_of_table sch ~alias:alias_name row.Storage.Row.values ])
-                rows
-            in
             if tracing ctx then begin
               let b1 = path_btree_profile path in
+              let n_out = List.length rows in
+              let batches =
+                match block_size with
+                | None -> 0
+                | Some bs -> Stdlib.max 1 ((n_out + bs - 1) / bs)
+              in
               op_event ctx ~op:"SCAN"
                 ~detail:(alias_name ^ " USING " ^ shown_path)
                 ~rows_in:(Storage.Heap.row_count ts.Storage.Catalog.heap)
-                ~rows_out:(List.length rows)
+                ~rows_out:n_out ~batches
                 ~btree:(fst b1 - fst scan_b0, snd b1 - snd scan_b0)
                 ~t0:scan_t0 ()
             end;
-            Ok { tuples; used_skip_scan }
+            Ok (rows, used_skip_scan)
           end
+
+(* Returns the binding tuples of one FROM item. *)
+let rec from_tuples ctx fctx ~where (item : A.from_item) :
+    (scanned, Errors.t) result =
+  match item with
+  | A.F_table { name; alias } -> (
+      let alias_name = Option.value ~default:name alias in
+      match Storage.Catalog.find_table ctx.catalog name with
+      | Some ts ->
+          let* rows, used_skip_scan =
+            scan_rows ctx fctx ~where ~table:name ~alias:alias_name ts
+          in
+          let tuples =
+            List.map
+              (fun (row, sch) ->
+                [ binding_of_table sch ~alias:alias_name row.Storage.Row.values ])
+              rows
+          in
+          Ok { tuples; used_skip_scan }
       | None -> (
           match Storage.Catalog.find_view ctx.catalog name with
           | Some v ->

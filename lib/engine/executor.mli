@@ -89,3 +89,98 @@ val run_query : ctx -> Sqlast.Ast.query -> (result_set, Errors.t) result
     the parent's columns), in scan order.  Shared with DML and maintenance. *)
 val scan_table :
   ctx -> Storage.Catalog.table_state -> (Storage.Row.t * Storage.Schema.table) list
+
+(** {1 Shared with the compiled backend}
+
+    The pieces of the interpreted pipeline that {!Compile} reuses so the
+    two execution backends share one definition of name resolution,
+    scan-site bug injection, access-path choice and flight-recorder
+    annotation. *)
+
+(** One FROM-clause row source in scope: lowercase alias, column
+    metadata, current row values. *)
+type binding = {
+  b_alias : string;
+  b_columns : (string * Datatype.t * Collation.t) array;
+  b_values : Value.t array;
+}
+
+val binding_of_table :
+  Storage.Schema.table -> alias:string -> Value.t array -> binding
+
+(** Column-reference resolution over in-scope bindings: qualified
+    references must match an alias; unqualified references must match
+    exactly one column across all bindings. *)
+val resolve_in :
+  binding list ->
+  table:string option ->
+  column:string ->
+  (Eval.resolved, Errors.t) result
+
+(** {!eval_env} with {!resolve_in} over the given bindings. *)
+val env_for : ctx -> binding list -> Eval.env
+
+(** Is the plan-diff join-order swap forced for this query?  (Applies to
+    two-table inner/cross joins and two-item comma FROMs; see {!forced}.) *)
+val swap_join_forced : ctx -> bool
+
+(** Query-level facts the scan-site bug injections consult. *)
+type from_ctx = {
+  in_join : bool;
+  cond_has_cast : bool;
+  cond_has_ifnull : bool;
+  distinct : bool;
+}
+
+val has_cast : Sqlast.Ast.expr -> bool
+val has_ifnull : Sqlast.Ast.expr -> bool
+
+(** Scan one base table under [where]: injected planner/index bug gates,
+    access-path choice (honouring {!ctx.force}), rowid fetch, and the
+    SCAN flight-recorder annotation.  Returns the rows (paired with the
+    schema that typed each row) and whether a skip scan was used.
+    [block_size] makes the SCAN operator event report batch counts (the
+    compiled backend passes its block size; the interpreter omits it and
+    reports [batches = 0]). *)
+val scan_rows :
+  ctx ->
+  from_ctx ->
+  where:Sqlast.Ast.expr option ->
+  table:string ->
+  alias:string ->
+  ?block_size:int ->
+  Storage.Catalog.table_state ->
+  ((Storage.Row.t * Storage.Schema.table) list * bool, Errors.t) result
+
+(** Output column names of a SELECT item list against a sample tuple
+    (empty when the scan produced no rows, which is observable: [*]
+    contributes no columns and [t.*] fails). *)
+val output_columns :
+  ctx -> binding list -> Sqlast.Ast.select_item list ->
+  (string list, Errors.t) result
+
+(** Whether the SELECT uses aggregation (GROUP BY, aggregate items, or an
+    aggregate HAVING). *)
+val select_has_agg : Sqlast.Ast.select -> bool
+
+(** First-occurrence deduplication under {!row_key}. *)
+val dedup_rows : Value.t array list -> Value.t array list
+
+val tracing : ctx -> bool
+
+(** A [Telemetry.Clock] reading when tracing, else [0]. *)
+val op_clock : ctx -> int
+
+(** Record an operator event on the flight recorder (no-op unless
+    tracing).  [batches] is 0 for row-at-a-time operators. *)
+val op_event :
+  ctx ->
+  op:string ->
+  ?detail:string ->
+  rows_in:int ->
+  rows_out:int ->
+  ?batches:int ->
+  ?btree:int * int ->
+  t0:int ->
+  unit ->
+  unit

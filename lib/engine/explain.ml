@@ -107,13 +107,16 @@ let run ctx (q : A.query) : (Executor.result_set, Errors.t) result =
 
 (* EXPLAIN ANALYZE: execute the query under a private flight recorder and
    render the per-operator annotations it collected (rows in/out, B-tree
-   visits, wall time) as plan lines, postgres-style. *)
-let run_analyze ctx (q : A.query) : (Executor.result_set, Errors.t) result =
+   visits, wall time) as plan lines, postgres-style.  [run] is the
+   execution backend's query runner (default: the interpreter), so the
+   plan annotations describe the backend the session actually uses. *)
+let run_analyze ?(run = Executor.run_query) ctx (q : A.query) :
+    (Executor.result_set, Errors.t) result =
   let recorder = Trace.create ~capacity:512 () in
   Trace.begin_round recorder ~seed:0 ~dialect:ctx.Executor.dialect;
   let ctx = { ctx with Executor.recorder } in
   let t0 = Telemetry.Clock.now_ns_int () in
-  match Executor.run_query ctx q with
+  match run ctx q with
   | Error e -> Error e
   | Ok rs ->
       let total_ns = Telemetry.Clock.now_ns_int () - t0 in
@@ -121,16 +124,22 @@ let run_analyze ctx (q : A.query) : (Executor.result_set, Errors.t) result =
       let op_line (e : Trace.entry) =
         match e.Trace.event with
         | Trace.Event.Op
-            { op; detail; rows_in; rows_out; btree_nodes; btree_entries; dur_ns }
-          ->
+            { op; detail; rows_in; rows_out; batches; btree_nodes;
+              btree_entries; dur_ns } ->
             let btree =
               if btree_nodes = 0 && btree_entries = 0 then ""
               else Printf.sprintf " btree=%d/%d" btree_nodes btree_entries
             in
+            let batched =
+              if batches <= 0 then ""
+              else
+                Printf.sprintf " batches=%d rows/batch=%.1f" batches
+                  (float_of_int rows_out /. float_of_int batches)
+            in
             let detail = if detail = "" then "" else " " ^ detail in
             Some
-              (Printf.sprintf "%s%s (in=%d out=%d%s %.3f ms)" op detail rows_in
-                 rows_out btree (ms dur_ns))
+              (Printf.sprintf "%s%s (in=%d out=%d%s%s %.3f ms)" op detail
+                 rows_in rows_out batched btree (ms dur_ns))
         | _ -> None
       in
       let lines = List.filter_map op_line (Trace.events recorder) in

@@ -23,15 +23,24 @@ val create :
   ?coverage:Coverage.t ->
   ?telemetry:Telemetry.t ->
   ?recorder:Trace.t ->
+  ?backend:Exec_backend.kind ->
   Dialect.t ->
   t
 (** [recorder] (default {!Trace.noop}) is the flight recorder threaded
     into the executor context: the engine feeds it planner access-path
     decisions and per-operator annotations while the caller (the PQS
     runner) records statements, pivots and expressions on the same
-    ring. *)
+    ring.
+
+    [backend] (default {!Exec_backend.Interpreted}) selects the
+    execution backend every query in this session runs under —
+    [Select_stmt], {!query}, {!query_forced} and [EXPLAIN ANALYZE] all
+    route through it. *)
 
 val dialect : t -> Dialect.t
+
+(** The execution backend this session was created with. *)
+val backend : t -> Exec_backend.kind
 val catalog : t -> Storage.Catalog.t
 val bugs : t -> Bug.set
 val options : t -> Options.t

@@ -34,7 +34,7 @@ let depth_sweep ~samples =
       let rng = Pqs.Rng.make ~seed:99 in
       let session = Engine.Session.create dialect in
       let cfg =
-        { (Pqs.Gen_db.default_config ~seed:99 dialect) with Pqs.Gen_db.rng }
+        Pqs.Gen_db.Config.(make ~seed:99 dialect |> with_rng rng)
       in
       List.iter
         (fun st -> ignore (Engine.Session.execute session st))

@@ -1,0 +1,133 @@
+(* Execution-backend speedup benchmark (the `bench compile` gate).
+
+   Runs the same fixed seed range twice — once with the tree-walking
+   interpreter backend and once with the closure-compiling batched
+   backend — asserts the merged bug-report sets are identical (the
+   backends are observationally equivalent; test_compile proves it
+   query-by-query, this gate re-proves it campaign-end-to-end), and
+   records both walls plus the rounds-per-second speedup in
+   BENCH_compile.json.  The acceptance target is a >=2x campaign
+   speedup; the configurations run interleaved and each keeps its best
+   wall, like trace_bench.
+
+   The campaign config is query-weighted (more rows per table, more
+   queries per pivot than the hunting default) so the per-round mix
+   reflects a query-execution-bound campaign — the workload the
+   compiled backend exists for.  Both backends run the identical
+   config, so the comparison stays apples-to-apples. *)
+
+open Sqlval
+
+let target_speedup = 2.0
+
+(* query-weighted round shape: deeper tables and a heavier query mix
+   than the hunting default (max_rows 6, queries_per_pivot 6) *)
+let bench_config dialect =
+  Pqs.Runner.Config.make ~max_rows:60 ~queries_per_pivot:12 dialect
+
+let report_key (r : Pqs.Bug_report.t) =
+  (r.Pqs.Bug_report.seed, Pqs.Bug_report.oracle_label r.Pqs.Bug_report.oracle,
+   Pqs.Bug_report.script r)
+
+(* interleaved minima, identical rationale to Trace_bench.best_interleaved *)
+let best_interleaved ~batch ~max_runs ~settle run_a run_b =
+  let best cur (c, w) =
+    match cur with
+    | Some (_, w') when (w' : float) <= w -> cur
+    | _ -> Some (c, w)
+  in
+  let rec go a b runs =
+    let a = ref a and b = ref b in
+    for _ = 1 to batch do
+      a := best !a (run_a ());
+      b := best !b (run_b ())
+    done;
+    let _, wa = Option.get !a and _, wb = Option.get !b in
+    let runs = runs + batch in
+    if runs >= max_runs || (wb -. wa) /. wa < settle then
+      (Option.get !a, Option.get !b)
+    else go !a !b runs
+  in
+  go None None 0
+
+let json ~dialect ~databases ~interp_wall ~compiled_wall ~speedup ~identical
+    ~statements ~reports =
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"compile\",";
+      Printf.sprintf "  \"dialect\": %S," (Dialect.name dialect);
+      Printf.sprintf "  \"databases\": %d," databases;
+      Printf.sprintf "  \"statements\": %d," statements;
+      Printf.sprintf "  \"reports\": %d," reports;
+      Printf.sprintf "  \"interpreted_wall_s\": %.4f," interp_wall;
+      Printf.sprintf "  \"compiled_wall_s\": %.4f," compiled_wall;
+      Printf.sprintf "  \"interpreted_rounds_per_s\": %.2f,"
+        (float_of_int databases /. interp_wall);
+      Printf.sprintf "  \"compiled_rounds_per_s\": %.2f,"
+        (float_of_int databases /. compiled_wall);
+      Printf.sprintf "  \"speedup\": %.3f," speedup;
+      Printf.sprintf "  \"target_speedup\": %.1f," target_speedup;
+      Printf.sprintf "  \"met_target\": %b," (speedup >= target_speedup);
+      Printf.sprintf "  \"identical_reports\": %b" identical;
+      "}";
+    ]
+  ^ "\n"
+
+let run ?(databases = 100) ?(out = "BENCH_compile.json") () =
+  let dialect = Dialect.Sqlite_like in
+  let seed_lo = 1 and seed_hi = 1 + databases in
+  let campaign ~backend () =
+    Gc.full_major ();
+    let config = Pqs.Runner.Config.with_backend backend (bench_config dialect) in
+    let c = Pqs.Campaign.run ~domains:1 ~seed_lo ~seed_hi config in
+    (c, c.Pqs.Campaign.elapsed)
+  in
+  let interp = campaign ~backend:Engine.Exec_backend.Interpreted in
+  let compiled = campaign ~backend:Engine.Exec_backend.Compiled in
+  ignore (interp ());
+  ignore (compiled ());
+  let (i_c, i_wall), (c_c, c_wall) =
+    best_interleaved ~batch:7 ~max_runs:28 ~settle:0.04 interp compiled
+  in
+  let speedup = if c_wall <= 0.0 then 0.0 else i_wall /. c_wall in
+  let identical =
+    List.map report_key (Pqs.Campaign.reports i_c)
+    = List.map report_key (Pqs.Campaign.reports c_c)
+  in
+  let statements = i_c.Pqs.Campaign.stats.Pqs.Stats.statements in
+  let reports = List.length (Pqs.Campaign.reports i_c) in
+  let oc = open_out out in
+  output_string oc
+    (json ~dialect ~databases ~interp_wall:i_wall ~compiled_wall:c_wall
+       ~speedup ~identical ~statements ~reports);
+  close_out oc;
+  let row label wall (c : Pqs.Campaign.t) =
+    [
+      label;
+      string_of_int c.Pqs.Campaign.stats.Pqs.Stats.statements;
+      string_of_int (List.length (Pqs.Campaign.reports c));
+      Printf.sprintf "%.3f" wall;
+      Printf.sprintf "%.1f" (float_of_int databases /. wall);
+      Printf.sprintf "%.0f"
+        (float_of_int c.Pqs.Campaign.stats.Pqs.Stats.statements /. wall);
+    ]
+  in
+  Fmt_table.print
+    ~title:
+      (Printf.sprintf
+         "Execution-backend speedup — %d query-weighted databases, \
+          interleaved minima; speedup %.2fx (target %.1fx), report sets \
+          identical: %b (written to %s)"
+         databases speedup target_speedup identical out)
+    ~columns:
+      [ "backend"; "statements"; "reports"; "seconds"; "rounds/s"; "stmts/s" ]
+    [ row "interpreted" i_wall i_c; row "compiled" c_wall c_c ];
+  if speedup < target_speedup then
+    Printf.printf
+      "WARNING: compiled-backend speedup %.2fx is below the %.1fx target\n"
+      speedup target_speedup;
+  if not identical then
+    Printf.printf
+      "WARNING: switching the execution backend changed the report set — \
+       backend equivalence violated\n"

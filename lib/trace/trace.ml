@@ -39,6 +39,7 @@ module Event = struct
         detail : string;
         rows_in : int;
         rows_out : int;
+        batches : int;
         btree_nodes : int;
         btree_entries : int;
         dur_ns : int;
@@ -216,14 +217,15 @@ let entry_json dialect e =
           ("table", json_string table);
           ("path", json_string path);
         ]
-    | Event.Op { op; detail; rows_in; rows_out; btree_nodes; btree_entries;
-                 dur_ns } ->
+    | Event.Op { op; detail; rows_in; rows_out; batches; btree_nodes;
+                 btree_entries; dur_ns } ->
         [
           ("type", {|"operator"|});
           ("op", json_string op);
           ("detail", json_string detail);
           ("rows_in", string_of_int rows_in);
           ("rows_out", string_of_int rows_out);
+          ("batches", string_of_int batches);
           ("btree_nodes", string_of_int btree_nodes);
           ("btree_entries", string_of_int btree_entries);
           ("dur_ns", string_of_int dur_ns);

@@ -49,6 +49,9 @@ module Event : sig
         detail : string;
         rows_in : int;
         rows_out : int;
+        batches : int;
+            (** row blocks processed; 0 under the row-at-a-time
+                interpreted backend, >= 1 under the compiled backend *)
         btree_nodes : int;  (** B-tree node visits charged to this operator *)
         btree_entries : int;
         dur_ns : int;

@@ -204,15 +204,9 @@ let build_session ~seed dialect =
   let rng = Pqs.Rng.make ~seed in
   let session = Engine.Session.create ~seed ~bugs:Engine.Bug.empty_set dialect in
   let gen_cfg =
-    {
-      Pqs.Gen_db.rng;
-      dialect;
-      table_count = 2;
-      max_columns = 3;
-      min_rows = 1;
-      max_rows = 5;
-      extra_statements = 4;
-    }
+    Pqs.Gen_db.Config.(
+      make dialect |> with_rng rng |> with_max_rows 5
+      |> with_extra_statements 4)
   in
   let exec stmt =
     match Engine.Session.execute session stmt with

@@ -408,7 +408,7 @@ let planner_soundness_prop dialect =
       let rng = Pqs.Rng.make ~seed:(seed + 500) in
       let session = Engine.Session.create dialect in
       let cfg =
-        { (Pqs.Gen_db.default_config dialect) with Pqs.Gen_db.rng }
+        Pqs.Gen_db.Config.(make dialect |> with_rng rng)
       in
       List.iter
         (fun st -> ignore (Engine.Session.execute session st))

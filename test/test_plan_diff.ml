@@ -86,7 +86,7 @@ let fixture_queries =
 let gen_session seed =
   let dialect = Dialect.Sqlite_like in
   let session = Engine.Session.create ~seed dialect in
-  let cfg = Pqs.Gen_db.default_config ~seed dialect in
+  let cfg = Pqs.Gen_db.Config.make ~seed dialect in
   let run stmt =
     match Engine.Session.execute session stmt with
     | Ok _ | Error _ -> ()

@@ -25,12 +25,9 @@ let random_case dialect seed =
   let rng = Pqs.Rng.make ~seed in
   let ncols = Pqs.Rng.int_in rng 1 3 in
   let gen_cfg =
-    {
-      (Pqs.Gen_db.default_config dialect) with
-      Pqs.Gen_db.rng;
-      table_count = 1;
-      max_columns = ncols;
-    }
+    Pqs.Gen_db.Config.(
+      make dialect |> with_rng rng |> with_table_count 1
+      |> with_max_columns ncols)
   in
   let session = Engine.Session.create dialect in
   let stmts = Pqs.Gen_db.initial_statements gen_cfg in

@@ -264,7 +264,7 @@ let prop_print_parse_execute dialect =
       let rng = Pqs.Rng.make ~seed:(seed + 77) in
       let direct = Engine.Session.create dialect in
       let reparsed = Engine.Session.create dialect in
-      let cfg = { (Pqs.Gen_db.default_config dialect) with Pqs.Gen_db.rng } in
+      let cfg = Pqs.Gen_db.Config.(make dialect |> with_rng rng) in
       let feed stmt =
         let r1 =
           match Engine.Session.execute direct stmt with

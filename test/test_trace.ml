@@ -276,6 +276,7 @@ let test_trace_json () =
          detail = "t0 USING full-scan";
          rows_in = 3;
          rows_out = 2;
+         batches = 1;
          btree_nodes = 1;
          btree_entries = 4;
          dur_ns = 999;
@@ -303,6 +304,7 @@ let test_trace_json () =
     (jstr (member "error" err));
   let op = List.nth evs 4 in
   Alcotest.(check (float 0.0)) "rows_in" 3.0 (jnum (member "rows_in" op));
+  Alcotest.(check (float 0.0)) "batches" 1.0 (jnum (member "batches" op));
   Alcotest.(check (float 0.0)) "btree_entries" 4.0
     (jnum (member "btree_entries" op))
 
@@ -591,7 +593,7 @@ let test_explain_analyze_leaves_session_clean () =
 let test_provenance () =
   let dialect = Dialect.Sqlite_like in
   let session = Engine.Session.create dialect in
-  let cfg = Pqs.Gen_db.default_config ~seed:3 dialect in
+  let cfg = Pqs.Gen_db.Config.make ~seed:3 dialect in
   List.iter
     (fun s -> ignore (Engine.Session.execute session s))
     (Pqs.Gen_db.initial_statements cfg);
