@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint plandiff compile fmt bench telemetry trace clean
+.PHONY: all build test smoke lint plandiff constopt compile fmt bench telemetry trace clean
 
 all: build
 
@@ -58,6 +58,19 @@ plandiff:
 	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_or_index_dedup
 	$(DUNE) exec bin/sqlancer.exe -- plan-diff -d sqlite -s 1 --databases 300 -b Sq_desc_index_range
 	$(DUNE) exec bench/main.exe -- quick plandiff
+
+# Constant-optimization oracle gate: the bug-free seed sweep must pass
+# (soundness: the simplifier is semantics-preserving), each targeted
+# constant-folding-bug sweep must (detection), and the oracle's campaign
+# overhead must stay under 15% with identical report sets on the
+# unaffected oracles.  Writes BENCH_constopt.json.
+constopt:
+	$(DUNE) exec bin/sqlancer.exe -- const-opt -d sqlite -s 1 --databases 300
+	$(DUNE) exec bin/sqlancer.exe -- const-opt -d sqlite -s 1 --databases 300 --backend compiled
+	$(DUNE) exec bin/sqlancer.exe -- const-opt -d sqlite -s 1 --databases 300 -b Sq_fold_null_and
+	$(DUNE) exec bin/sqlancer.exe -- const-opt -d sqlite -s 1 --databases 300 -b Sq_fold_affinity_cmp
+	$(DUNE) exec bin/sqlancer.exe -- const-opt -d sqlite -s 1 --databases 300 -b Sq_fold_not_null_true
+	$(DUNE) exec bench/main.exe -- quick constopt
 
 # Execution-backend gate: the same campaign under the interpreted and the
 # compiled backend (interleaved minima), asserting identical report sets

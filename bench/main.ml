@@ -208,6 +208,8 @@ let run_target b = function
       Experiments.Trace_bench.run ~databases:(b.throughput_queries / 3) ()
   | "plandiff" ->
       Experiments.Plandiff_bench.run ~databases:(b.throughput_queries / 3) ()
+  | "constopt" ->
+      Experiments.Constopt_bench.run ~databases:(b.throughput_queries / 3) ()
   | "compile" ->
       Experiments.Compile_bench.run ~databases:(b.throughput_queries / 10) ()
   | "baselines" ->
@@ -222,7 +224,8 @@ let run_target b = function
 let all_targets =
   [
     "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3"; "perf";
-    "campaign"; "telemetry"; "trace"; "plandiff"; "compile"; "baselines";
+    "campaign"; "telemetry"; "trace"; "plandiff"; "constopt"; "compile";
+    "baselines";
     "ablations";
     "metamorphic"; "micro";
   ]

@@ -431,13 +431,23 @@ let lint dialect seed databases queries_per_seed =
     Pqs.Lint.sweep ~queries_per_seed ~seed_lo:seed
       ~seed_hi:(seed + databases - 1) dialect
   in
-  Printf.printf "seeds=%d queries=%d plans=%d diagnostics=%d\n"
+  Printf.printf
+    "seeds=%d queries=%d plans=%d diagnostics=%d simplify-diagnostics=%d\n"
     r.Pqs.Lint.sw_seeds r.Pqs.Lint.sw_queries r.Pqs.Lint.sw_plans
-    (List.length r.Pqs.Lint.sw_diags);
+    (List.length r.Pqs.Lint.sw_diags)
+    (List.length r.Pqs.Lint.sw_simplify_diags);
   List.iter
     (fun (seed, d) ->
       Printf.printf "seed %d: %s\n" seed (Analysis.Diagnostic.to_string d))
     r.Pqs.Lint.sw_diags;
+  (* simplification/interval findings are advisory: a randomly generated
+     predicate may legitimately be unsatisfiable or constant-true, so
+     they are listed but never affect the exit code *)
+  List.iter
+    (fun (seed, d) ->
+      Printf.printf "seed %d (simplify): %s\n" seed
+        (Analysis.Diagnostic.to_string d))
+    r.Pqs.Lint.sw_simplify_diags;
   if r.Pqs.Lint.sw_diags = [] then 0 else 1
 
 let lint_cmd =
@@ -530,6 +540,66 @@ let plan_diff_cmd =
       const plan_diff $ dialect_arg $ seed_arg $ databases $ queries_per_seed
       $ max_plans $ bug)
 
+(* ---- const-opt ---- *)
+
+let const_opt dialect seed databases queries_per_seed backend bug =
+  let bugs =
+    match bug with
+    | Some b -> Engine.Bug.set_of_list [ b ]
+    | None -> Engine.Bug.empty_set
+  in
+  let r =
+    Pqs.Const_opt.sweep ~queries_per_seed ~bugs ~backend ~seed_lo:seed
+      ~seed_hi:(seed + databases - 1) dialect
+  in
+  Printf.printf
+    "seeds=%d queries=%d const-checks=%d rewrites=%d divergences=%d\n"
+    r.Pqs.Const_opt.co_seeds r.Pqs.Const_opt.co_queries
+    r.Pqs.Const_opt.co_checks r.Pqs.Const_opt.co_rewrites
+    (List.length r.Pqs.Const_opt.co_divergences);
+  List.iter
+    (fun (seed, msg) -> Printf.printf "seed %d: %s\n" seed msg)
+    r.Pqs.Const_opt.co_divergences;
+  match bug with
+  | None ->
+      (* bug-free: the simplifier must be semantics-preserving *)
+      if r.Pqs.Const_opt.co_divergences = [] then 0 else 1
+  | Some _ ->
+      (* hunting an injected bug: success means the oracle caught it *)
+      if r.Pqs.Const_opt.co_divergences <> [] then 0 else 1
+
+let const_opt_cmd =
+  let databases =
+    Arg.(
+      value & opt int 100
+      & info [ "databases" ] ~docv:"N"
+          ~doc:"seed range size: one database per seed")
+  in
+  let queries_per_seed =
+    Arg.(
+      value & opt int 3
+      & info [ "queries-per-seed" ] ~docv:"N"
+          ~doc:"pivoted queries checked per seed")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some bug_conv) None
+      & info [ "b"; "bug" ] ~docv:"BUG"
+          ~doc:
+            "injected bug to enable; with it, exit 0 iff a divergence was \
+             found (detection), without it, exit 0 iff none was (soundness)")
+  in
+  Cmd.v
+    (Cmd.info "const-opt"
+       ~doc:
+         "run the constant-optimization oracle over a generated seed \
+          corpus: pivot values folded into each containment query as \
+          constants, the simplified variant re-executed and cross-checked")
+    Term.(
+      const const_opt $ dialect_arg $ seed_arg $ databases $ queries_per_seed
+      $ backend_arg $ bug)
+
 (* ---- metamorphic ---- *)
 
 let metamorphic dialect seed checks bug =
@@ -587,5 +657,6 @@ let () =
             metamorphic_cmd;
             lint_cmd;
             plan_diff_cmd;
+            const_opt_cmd;
             replay_cmd;
           ]))

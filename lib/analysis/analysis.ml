@@ -7,16 +7,23 @@
      structured diagnostics for trees the evaluator must reject;
    - Nullability: a not-null / maybe-null / definitely-null lattice
      computed alongside the classes;
-   - Plan_lint: consistency checks over Engine.Planner access paths.
+   - Plan_lint: consistency checks over Engine.Planner access paths;
+   - Const_fold / Interval / Simplify: the abstract-interpretation layer
+     behind the const-opt (CODDTest) oracle — evaluator-backed constant
+     folding, a per-column value-class/interval domain, and a
+     provenance-tracking fixpoint rewriter.
 
    The passes are pure and engine-independent: PQS wires them into the
-   oracle pipeline (lib/core/lint.ml) and the sqlancer CLI exposes them
-   via --lint and the lint subcommand. *)
+   oracle pipeline (lib/core/lint.ml, lib/core/const_opt.ml) and the
+   sqlancer CLI exposes them via --lint and the lint subcommand. *)
 
 module Diagnostic = Diagnostic
 module Nullability = Nullability
 module Typecheck = Typecheck
 module Plan_lint = Plan_lint
+module Const_fold = Const_fold
+module Interval = Interval
+module Simplify = Simplify
 
 type env = Typecheck.env
 

@@ -2,7 +2,11 @@
 
     Three passes, all abstract interpretations of the reference
     semantics: a typed-AST checker ({!Typecheck}), a 3VL nullability
-    analysis ({!Nullability}), and a plan linter ({!Plan_lint}).
+    analysis ({!Nullability}), and a plan linter ({!Plan_lint}); plus the
+    abstract-interpretation layer behind the const-opt (CODDTest)
+    oracle — evaluator-backed constant folding ({!Const_fold}), a
+    per-column value-class/interval domain ({!Interval}), and a
+    provenance-tracking fixpoint rewriter ({!Simplify}).
     Diagnostics ({!Diagnostic}) carry a severity, a stable code, and a
     dotted location path.  The passes are pure and engine-independent;
     PQS wires them into the oracle pipeline as the [lint] self-check
@@ -12,6 +16,9 @@ module Diagnostic = Diagnostic
 module Nullability = Nullability
 module Typecheck = Typecheck
 module Plan_lint = Plan_lint
+module Const_fold = Const_fold
+module Interval = Interval
+module Simplify = Simplify
 
 type env = Typecheck.env
 

@@ -1,0 +1,112 @@
+(* Sound 3VL constant folding on top of the engine evaluator.
+
+   The folder deliberately owns no expression semantics: every value it
+   produces comes from {!Engine.Eval} on a bug-free environment, so the
+   fold is dialect-correct (affinity, collation, three-valued logic) by
+   construction and can never drift from the engine.  What this module
+   adds is the *static* side: building evaluator environments from
+   pivot-row bindings, deciding which subtrees carry outward-visible
+   column metadata (and therefore must not be replaced by literals), and
+   the operational substitution checks the simplifier uses before it
+   rewrites an operand of a metadata-sensitive node (comparison, BETWEEN,
+   LIKE) into a literal: the rewrite is emitted only when the engine's own
+   prep/apply split provably computes the same value for the substituted
+   operands. *)
+
+open Sqlval
+module A = Sqlast.Ast
+module E = Engine.Eval
+
+type binding = {
+  b_table : string;
+  b_column : string;
+  b_value : Value.t;
+  b_type : Datatype.t;
+  b_collation : Collation.t;
+}
+
+(* name resolution mirrors Interp.env_of_pivot: case-insensitive, an
+   unqualified name matching several bindings is ambiguous *)
+let env ?(case_sensitive_like = false) dialect (bindings : binding list) :
+    E.env =
+  let resolve ~table ~column =
+    let matches b =
+      match table with
+      | None -> true
+      | Some t -> String.lowercase_ascii t = String.lowercase_ascii b.b_table
+    in
+    let col = String.lowercase_ascii column in
+    let hits =
+      List.filter
+        (fun b ->
+          matches b && String.lowercase_ascii b.b_column = col)
+        bindings
+    in
+    match hits with
+    | [ b ] ->
+        Ok
+          {
+            E.value = b.b_value;
+            datatype = b.b_type;
+            collation = b.b_collation;
+          }
+    | [] ->
+        Error
+          (Engine.Errors.make Engine.Errors.No_such_column
+             ("no such column: " ^ column))
+    | _ :: _ ->
+        Error
+          (Engine.Errors.make Engine.Errors.Ambiguous_column
+             ("ambiguous column name: " ^ column))
+  in
+  {
+    E.dialect;
+    bugs = Engine.Bug.empty_set;
+    case_sensitive_like;
+    coverage = None;
+    resolve;
+  }
+
+let const_env ?case_sensitive_like dialect =
+  E.const_env ?case_sensitive_like dialect
+
+let fold env e = match E.eval env e with Ok v -> Some v | Error _ -> None
+
+let fold_tvl env e =
+  match E.eval_tvl env e with Ok t -> Some t | Error _ -> None
+
+(* Does [e] expose column metadata (declared type / collation) to an
+   enclosing comparison?  [Eval.column_meta] and [Eval.explicit_collation]
+   only ever look at the Col / COLLATE / CAST / unary [+] decoration chain
+   at the root, so any expression they are blind to can be replaced by a
+   literal of its value without changing an enclosing node's static
+   prep. *)
+let metadata_free env e =
+  E.column_meta env e = None && E.explicit_collation env e = None
+
+(* values compare structurally; [Stdlib.compare] keeps NaN equal to
+   itself, which is what replay determinism needs *)
+let same_result (a : (Value.t, Engine.Errors.t) result)
+    (b : (Value.t, Engine.Errors.t) result) =
+  match (a, b) with
+  | Ok va, Ok vb -> Stdlib.compare va vb = 0
+  | Error ea, Error eb -> Engine.Errors.equal_code ea.code eb.code
+  | _ -> false
+
+let compare_substitutable env op ea eb va vb =
+  same_result
+    (E.compare_apply env (E.compare_prep env op ea eb) va vb)
+    (E.compare_apply env (E.compare_prep env op (A.Lit va) (A.Lit vb)) va vb)
+
+let between_substitutable env ~negated ~arg ~lo ~hi va vl vh =
+  same_result
+    (E.between_apply env (E.between_prep env ~negated ~arg ~lo ~hi) va vl vh)
+    (E.between_apply env
+       (E.between_prep env ~negated ~arg:(A.Lit va) ~lo:(A.Lit vl)
+          ~hi:(A.Lit vh))
+       va vl vh)
+
+let like_substitutable env ~negated ~arg va vp esc =
+  same_result
+    (E.like_apply env (E.like_prep env ~negated ~arg) va vp esc)
+    (E.like_apply env (E.like_prep env ~negated ~arg:(A.Lit va)) va vp esc)

@@ -28,6 +28,10 @@ type code =
   | Plan_unjustified
   | Plan_partial
   | Plan_nullability
+  | Unsat_predicate
+  | Always_true
+  | Dead_case_branch
+  | Out_of_interval
 [@@deriving show { with_path = false }, eq]
 
 type t = { severity : severity; code : code; loc : string; message : string }
@@ -53,6 +57,10 @@ let code_slug = function
   | Plan_unjustified -> "plan-unjustified"
   | Plan_partial -> "plan-partial"
   | Plan_nullability -> "plan-nullability"
+  | Unsat_predicate -> "unsat-predicate"
+  | Always_true -> "always-true"
+  | Dead_case_branch -> "dead-case-branch"
+  | Out_of_interval -> "out-of-interval"
 
 let error ~code ~loc message = { severity = Error; code; loc; message }
 let warning ~code ~loc message = { severity = Warning; code; loc; message }

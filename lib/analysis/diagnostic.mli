@@ -29,6 +29,13 @@ type code =
   | Plan_nullability
       (** pushed-down predicate does not reject NULL keys, so skipping
           NULL index entries would be unsound *)
+  | Unsat_predicate
+      (** WHERE conjunction empties a column's abstract domain (warning) *)
+  | Always_true  (** WHERE clause simplifies to a true constant (warning) *)
+  | Dead_case_branch  (** searched-CASE branch can never be taken (warning) *)
+  | Out_of_interval
+      (** comparison literal lies outside the column's declared interval
+          (warning) *)
 
 type t = { severity : severity; code : code; loc : string; message : string }
 

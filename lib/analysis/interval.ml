@@ -1,0 +1,301 @@
+(* Per-column value-class and interval domain.
+
+   A small abstract domain over column values: which storage classes a
+   column may hold (NULL / numeric / text / blob) and, when numeric, an
+   inclusive interval.  Domains are seeded from the declared schema and
+   refined left-to-right through the conjuncts of a WHERE clause; a
+   conjunct that empties its column's domain is reported.
+
+   Soundness of the seeding is dialect-sensitive: sqlite columns are
+   dynamically typed (an INT-declared column can hold 'abc'), so under
+   sqlite only NOT NULL is trusted and classes/ranges start at top.  The
+   statically-typed dialects seed the class set and integer range from
+   the declared type.  Refinement from the conjuncts themselves
+   (equalities, ranges, BETWEEN, IS \[NOT\] NULL against literals) is
+   dialect-independent: two conjuncts demanding disjoint numeric values
+   of the same column can never both hold of one row. *)
+
+open Sqlval
+module A = Sqlast.Ast
+
+type range = { lo : float; hi : float }  (* inclusive; infinities at top *)
+
+type dom = {
+  may_null : bool;
+  may_num : bool;
+  may_text : bool;
+  may_blob : bool;
+  num : range;
+}
+
+let top_range = { lo = neg_infinity; hi = infinity }
+
+let top ~may_null =
+  { may_null; may_num = true; may_text = true; may_blob = true; num = top_range }
+
+let is_empty d =
+  (not d.may_null) && (not d.may_text) && (not d.may_blob)
+  && ((not d.may_num) || d.num.lo > d.num.hi)
+
+type t = {
+  dialect : Dialect.t;
+  cols : ((string * string) * dom) list;  (* keys lowercased *)
+}
+
+let key table column =
+  (String.lowercase_ascii table, String.lowercase_ascii column)
+
+let seed_dom dialect (c : Typecheck.column) =
+  let may_null =
+    match c.Typecheck.col_nullability with
+    | Nullability.Not_null -> false
+    | _ -> true
+  in
+  match dialect with
+  | Dialect.Sqlite_like ->
+      (* dynamic typing: the declared type is an affinity, not a bound *)
+      top ~may_null
+  | Dialect.Mysql_like | Dialect.Postgres_like -> (
+      match c.Typecheck.col_type with
+      | Datatype.Int { width; _ } ->
+          let lo, hi = Datatype.int_range width in
+          {
+            may_null;
+            may_num = true;
+            may_text = false;
+            may_blob = false;
+            num = { lo = Int64.to_float lo; hi = Int64.to_float hi };
+          }
+      | Datatype.Serial ->
+          {
+            may_null;
+            may_num = true;
+            may_text = false;
+            may_blob = false;
+            num = top_range;
+          }
+      | Datatype.Real | Datatype.Bool ->
+          {
+            may_null;
+            may_num = true;
+            may_text = false;
+            may_blob = false;
+            num = top_range;
+          }
+      | Datatype.Text ->
+          { may_null; may_num = false; may_text = true; may_blob = false;
+            num = top_range }
+      | Datatype.Blob ->
+          { may_null; may_num = false; may_text = false; may_blob = true;
+            num = top_range }
+      | Datatype.Any -> top ~may_null)
+
+let of_tables dialect (tables : Typecheck.table list) : t =
+  {
+    dialect;
+    cols =
+      List.concat_map
+        (fun (tab : Typecheck.table) ->
+          List.map
+            (fun (c : Typecheck.column) ->
+              (key tab.Typecheck.tab_name c.Typecheck.col_name,
+               seed_dom dialect c))
+            tab.Typecheck.tab_columns)
+        tables;
+  }
+
+let find t ~table ~column =
+  match table with
+  | Some tab -> List.assoc_opt (key tab column) t.cols
+  | None -> (
+      let col = String.lowercase_ascii column in
+      match List.filter (fun ((_, c), _) -> c = col) t.cols with
+      | [ (_, d) ] -> Some d
+      | _ -> None (* unknown or ambiguous: no refinement *))
+
+let update t ~table ~column dom =
+  let keys =
+    match table with
+    | Some tab -> [ key tab column ]
+    | None -> (
+        let col = String.lowercase_ascii column in
+        match List.filter (fun ((_, c), _) -> c = col) t.cols with
+        | [ (k, _) ] -> [ k ]
+        | _ -> [])
+  in
+  {
+    t with
+    cols =
+      List.map
+        (fun (k, d) -> if List.mem k keys then (k, dom) else (k, d))
+        t.cols;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct constraints                                                *)
+
+let numeric_value (v : Value.t) =
+  match v with
+  | Value.Int i -> Some (Int64.to_float i)
+  | Value.Real f -> Some f
+  | Value.Bool b -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+(* the numeric sub-domain a satisfied comparison confines the column to *)
+let constrain_range op n =
+  match op with
+  | A.Eq -> Some { lo = n; hi = n }
+  | A.Lt -> Some { lo = neg_infinity; hi = n }  (* open bounds widened *)
+  | A.Le -> Some { lo = neg_infinity; hi = n }
+  | A.Gt -> Some { lo = n; hi = infinity }
+  | A.Ge -> Some { lo = n; hi = infinity }
+  | _ -> None
+
+let inter a b = { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
+
+(* a satisfied comparison also rules out NULL (it would yield UNKNOWN) *)
+let apply_range d r =
+  {
+    d with
+    may_null = false;
+    may_text = false;
+    may_blob = false;
+    num = inter d.num r;
+  }
+
+type constraint_ = {
+  c_table : string option;
+  c_column : string;
+  c_dom : dom -> dom;  (* refinement assuming the conjunct holds *)
+}
+
+let rec col_of (e : A.expr) =
+  match e with
+  | A.Col { table; column } -> Some (table, column)
+  | A.Unary (A.Pos, inner) | A.Collate (inner, _) -> col_of inner
+  | _ -> None
+
+let flip = function
+  | A.Lt -> A.Gt
+  | A.Le -> A.Ge
+  | A.Gt -> A.Lt
+  | A.Ge -> A.Le
+  | op -> op
+
+let constraint_of (e : A.expr) : constraint_ option =
+  match e with
+  | A.Binary (op, a, b) -> (
+      let mk (table, column) op v =
+        match numeric_value v with
+        | None -> None
+        | Some n -> (
+            match constrain_range op n with
+            | None -> None
+            | Some r ->
+                Some
+                  { c_table = table; c_column = column;
+                    c_dom = (fun d -> apply_range d r) })
+      in
+      match (col_of a, b, a, col_of b) with
+      | Some c, A.Lit v, _, _ -> mk c op v
+      | _, _, A.Lit v, Some c -> mk c (flip op) v
+      | _ -> None)
+  | A.Between { negated = false; arg; lo = A.Lit vl; hi = A.Lit vh } -> (
+      match (col_of arg, numeric_value vl, numeric_value vh) with
+      | Some (table, column), Some l, Some h ->
+          Some
+            { c_table = table; c_column = column;
+              c_dom = (fun d -> apply_range d { lo = l; hi = h }) }
+      | _ -> None)
+  | A.Is { negated; arg; rhs = A.Is_null } -> (
+      match col_of arg with
+      | Some (table, column) ->
+          Some
+            {
+              c_table = table;
+              c_column = column;
+              c_dom =
+                (if negated then fun d -> { d with may_null = false }
+                 else fun d ->
+                   { d with may_num = false; may_text = false;
+                     may_blob = false });
+            }
+      | None -> None)
+  | _ -> None
+
+let rec conjuncts (e : A.expr) acc =
+  match e with
+  | A.Binary (A.And, a, b) -> conjuncts a (conjuncts b acc)
+  | e -> e :: acc
+
+(* ------------------------------------------------------------------ *)
+(* The check                                                           *)
+
+let check_where (t : t) ?(loc = "query.where") (w : A.expr) :
+    Diagnostic.t list =
+  let diags = ref [] in
+  let emit code msg =
+    diags := Diagnostic.warning ~code ~loc msg :: !diags
+  in
+  let _ =
+    List.fold_left
+      (fun t conjunct ->
+        match constraint_of conjunct with
+        | None -> t
+        | Some c -> (
+            match find t ~table:c.c_table ~column:c.c_column with
+            | None -> t
+            | Some dom ->
+                let refined = c.c_dom dom in
+                if is_empty refined then begin
+                  emit Diagnostic.Unsat_predicate
+                    (Printf.sprintf
+                       "conjunct `%s` empties the domain of %s"
+                       (Sqlast.Sql_printer.expr t.dialect conjunct)
+                       c.c_column);
+                  update t ~table:c.c_table ~column:c.c_column refined
+                end
+                else update t ~table:c.c_table ~column:c.c_column refined))
+      t
+      (conjuncts w [])
+  in
+  List.rev !diags
+
+(* out-of-interval: a comparison against a literal beyond the column's
+   *seeded* (declared-type) interval — checked per conjunct against the
+   schema domain, independent of other conjuncts *)
+let check_bounds (t : t) ?(loc = "query.where") (w : A.expr) :
+    Diagnostic.t list =
+  let diags = ref [] in
+  List.iter
+    (fun conjunct ->
+      match conjunct with
+      | A.Binary (op, a, b) -> (
+          let check (table, column) op v =
+            match (find t ~table ~column, numeric_value v) with
+            | Some d, Some n when d.may_num && not d.may_text ->
+                let sat =
+                  match constrain_range op n with
+                  | Some r -> (inter d.num r).lo <= (inter d.num r).hi
+                  | None -> true
+                in
+                if not sat then
+                  diags :=
+                    Diagnostic.warning ~code:Diagnostic.Out_of_interval ~loc
+                      (Printf.sprintf
+                         "comparison `%s` lies outside %s's declared \
+                          interval [%g, %g]"
+                         (Sqlast.Sql_printer.expr t.dialect conjunct)
+                         column d.num.lo d.num.hi)
+                    :: !diags
+            | _ -> ()
+          in
+          match (col_of a, b, a, col_of b) with
+          | Some c, A.Lit v, _, _ -> check c op v
+          | _, _, A.Lit v, Some c -> check c (flip op) v
+          | _ -> ())
+      | _ -> ())
+    (conjuncts w []);
+  List.rev !diags
+
+let check (t : t) ?loc w = check_where t ?loc w @ check_bounds t ?loc w

@@ -1,0 +1,39 @@
+(** Per-column value-class and interval abstract domain.
+
+    Seeds a domain for every column of the checked scope — which storage
+    classes it may hold (NULL / numeric / text / blob) and, when numeric,
+    an inclusive interval — and refines it left-to-right through the
+    conjuncts of a WHERE clause.  Two checks report {!Diagnostic}
+    warnings:
+
+    - {!check_where}: a conjunct whose constraint empties its column's
+      accumulated domain (the conjunction is unsatisfiable) —
+      [unsat-predicate];
+    - {!check_bounds}: a comparison against a literal that lies entirely
+      outside the column's *declared* interval — [out-of-interval].
+
+    Seeding is dialect-aware: sqlite columns are dynamically typed, so
+    only NOT NULL is trusted there and classes/intervals start at top;
+    the statically-typed dialects seed both from the declared type.
+    Conjunct-driven refinement (equalities, ranges, BETWEEN, IS NULL) is
+    dialect-independent.  Both checks emit warnings, never errors: the
+    domain is deliberately coarse, and a flagged query is suspicious but
+    not necessarily wrong. *)
+
+open Sqlval
+
+type t
+
+(** Seed domains for every column of the given tables. *)
+val of_tables : Dialect.t -> Typecheck.table list -> t
+
+(** Unsatisfiable-conjunction check ([unsat-predicate] warnings). *)
+val check_where :
+  t -> ?loc:string -> Sqlast.Ast.expr -> Diagnostic.t list
+
+(** Declared-interval check ([out-of-interval] warnings). *)
+val check_bounds :
+  t -> ?loc:string -> Sqlast.Ast.expr -> Diagnostic.t list
+
+(** Both checks, in order. *)
+val check : t -> ?loc:string -> Sqlast.Ast.expr -> Diagnostic.t list

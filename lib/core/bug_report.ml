@@ -8,6 +8,7 @@ type oracle =
   | Metamorphic
   | Lint
   | Plan_diff
+  | Const_opt
 [@@deriving show { with_path = false }, eq]
 
 (* the negative variant reports under the same Table 3 column *)
@@ -18,6 +19,7 @@ let oracle_label = function
   | Metamorphic -> "Metamorphic"
   | Lint -> "Lint"
   | Plan_diff -> "PlanDiff"
+  | Const_opt -> "ConstOpt"
 
 (* stable machine-readable tokens, round-tripped through repro-bundle
    headers by the replay harness *)
@@ -29,6 +31,7 @@ let oracle_token = function
   | Metamorphic -> "metamorphic"
   | Lint -> "lint"
   | Plan_diff -> "plan_diff"
+  | Const_opt -> "const_opt"
 
 let oracle_of_token = function
   | "containment" -> Some Containment
@@ -38,6 +41,7 @@ let oracle_of_token = function
   | "metamorphic" -> Some Metamorphic
   | "lint" -> Some Lint
   | "plan_diff" -> Some Plan_diff
+  | "const_opt" -> Some Const_opt
   | _ -> None
 
 type t = {

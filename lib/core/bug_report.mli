@@ -18,6 +18,10 @@ type oracle =
   | Plan_diff
       (** the same query returned different result multisets under two
           enumerated access plans (see [Plan_diff.oracle]) *)
+  | Const_opt
+      (** folding the pivot row's values into the query as constants and
+          simplifying changed the containment verdict (CODDTest-style
+          constant-optimization oracle; see [Const_opt.oracle]) *)
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val show_oracle : oracle -> string

@@ -35,8 +35,6 @@ type config = Config.t
 
 open Config
 
-let default_config = Config.make
-
 let is_sqlite cfg = Dialect.equal cfg.dialect Dialect.Sqlite_like
 let is_mysql cfg = Dialect.equal cfg.dialect Dialect.Mysql_like
 let is_pg cfg = Dialect.equal cfg.dialect Dialect.Postgres_like

@@ -42,9 +42,6 @@ end
 
 type config = Config.t
 
-val default_config : ?seed:int -> Sqlval.Dialect.t -> config
-[@@deprecated "use Gen_db.Config.make (and the with_* setters)"]
-
 (** The CREATE TABLE statements opening a database round. *)
 val initial_statements : config -> Sqlast.Ast.stmt list
 

@@ -188,12 +188,34 @@ type sweep_result = {
   sw_queries : int;  (** containment statements analyzed *)
   sw_plans : int;  (** single-table scan sites linted *)
   sw_diags : (int * Analysis.Diagnostic.t) list;
-      (** every diagnostic (any severity), tagged with its seed *)
+      (** every type/nullability/plan diagnostic, tagged with its seed *)
+  sw_simplify_diags : (int * Analysis.Diagnostic.t) list;
+      (** simplification/interval findings (always-true, dead-case-branch,
+          unsat-predicate, out-of-interval) — advisory warnings about the
+          generated predicates, counted separately from [sw_diags] *)
 }
+
+(* Every WHERE clause in the query, including derived tables and compound
+   arms — the inputs of the interval and simplification lints. *)
+let rec where_sites (q : A.query) acc =
+  match q with
+  | A.Q_values _ -> acc
+  | A.Q_compound (_, a, b) -> where_sites b (where_sites a acc)
+  | A.Q_select s ->
+      let acc =
+        List.fold_left (fun acc it -> where_subs it acc) acc s.A.sel_from
+      in
+      (match s.A.sel_where with Some w -> w :: acc | None -> acc)
+
+and where_subs (it : A.from_item) acc =
+  match it with
+  | A.F_table _ -> acc
+  | A.F_join { left; right; _ } -> where_subs right (where_subs left acc)
+  | A.F_sub { sub; _ } -> where_sites sub acc
 
 let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
   let seeds = ref 0 and queries = ref 0 and plans = ref 0 in
-  let diags = ref [] in
+  let diags = ref [] and simplify_diags = ref [] in
   for seed = seed_lo to seed_hi do
     incr seeds;
     let rng = Rng.make ~seed in
@@ -235,6 +257,13 @@ let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
       let csl =
         Engine.Options.case_sensitive_like (Engine.Session.options session)
       in
+      (* interval domains over the declared schema and a column-free
+         folding environment: the simplification lints need no pivot *)
+      let idom =
+        Analysis.Interval.of_tables dialect
+          (Schema_info.tables_of_session session |> List.map table_of_info)
+      in
+      let cenv = Analysis.Const_fold.const_env ~case_sensitive_like:csl dialect in
       for _ = 1 to queries_per_seed do
         let chosen =
           let k = if List.length sources >= 2 && Rng.bool rng then 2 else 1 in
@@ -272,7 +301,17 @@ let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
             in
             List.iter
               (fun d -> diags := (seed, d) :: !diags)
-              (tdiags @ pdiags)
+              (tdiags @ pdiags);
+            (match stmt with
+            | A.Select_stmt q | A.Explain q | A.Explain_analyze q ->
+                List.iter
+                  (fun w ->
+                    List.iter
+                      (fun d -> simplify_diags := (seed, d) :: !simplify_diags)
+                      (Analysis.Interval.check idom w
+                      @ Analysis.Simplify.where_diagnostics cenv w))
+                  (where_sites q [])
+            | _ -> ())
       done
     end
   done;
@@ -281,6 +320,7 @@ let sweep ?(queries_per_seed = 3) ~seed_lo ~seed_hi dialect : sweep_result =
     sw_queries = !queries;
     sw_plans = !plans;
     sw_diags = List.rev !diags;
+    sw_simplify_diags = List.rev !simplify_diags;
   }
 
 (* self-registration: the CLI flag, reducer and replay arms all derive

@@ -42,7 +42,13 @@ type sweep_result = {
   sw_queries : int;  (** containment statements analyzed *)
   sw_plans : int;  (** single-table scan sites linted *)
   sw_diags : (int * Analysis.Diagnostic.t) list;
-      (** every diagnostic (any severity), tagged with its seed *)
+      (** every type/nullability/plan diagnostic, tagged with its seed *)
+  sw_simplify_diags : (int * Analysis.Diagnostic.t) list;
+      (** simplification/interval findings (always-true, dead-case-branch,
+          unsat-predicate, out-of-interval) over the generated WHERE
+          clauses.  These are advisory warnings about the *queries* — a
+          random predicate may legitimately be unsatisfiable — so they are
+          counted separately and never fail the sweep. *)
 }
 
 val sweep :
@@ -55,4 +61,5 @@ val sweep :
     per seed in [seed_lo..seed_hi] (inclusive) on a clean engine, and
     analyze all of them.  The generators are well-typed by construction,
     so any diagnostic is an analyzer (or generator) defect — [make lint]
-    and the acceptance property test fail on a non-empty [sw_diags]. *)
+    and the acceptance property test fail on a non-empty [sw_diags].
+    [sw_simplify_diags] is informational and never fails the sweep. *)

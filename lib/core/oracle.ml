@@ -17,6 +17,7 @@ type check = {
   check_stmt : Sqlast.Ast.stmt;
   negative : bool;
   pivot_found : bool;
+  check_pivot : (Schema_info.table_info * Value.t array) list;
 }
 
 type event =

@@ -40,6 +40,10 @@ type check = {
   negative : bool;
       (** rectified-to-FALSE variant: the pivot row must be absent *)
   pivot_found : bool;  (** did the result set contain the pivot row? *)
+  check_pivot : (Schema_info.table_info * Value.t array) list;
+      (** the pivot row(s) the check was synthesized from, one per FROM
+          source (paper step 2); value-level oracles (const-opt) fold
+          these into the query as constants *)
 }
 
 type event =

@@ -72,7 +72,8 @@ let replay_check ~dialect ~bugs ~oracle stmts =
           | Some 0 -> true
           | _ -> false)
       | _ -> false)
-  | Bug_report.Metamorphic | Bug_report.Lint | Bug_report.Plan_diff ->
+  | Bug_report.Metamorphic | Bug_report.Lint | Bug_report.Plan_diff
+  | Bug_report.Const_opt ->
       (* these kinds declare [Not_recheckable] or [Custom] strategies in
          the registry; reaching here means a registration is missing *)
       false

@@ -122,7 +122,7 @@ let confirm_report (config : Config.t) kind script =
   | Bug_report.Non_containment ->
       correct_engine_misses config.Config.dialect script
   | Bug_report.Error_oracle | Bug_report.Crash | Bug_report.Metamorphic
-  | Bug_report.Lint | Bug_report.Plan_diff ->
+  | Bug_report.Lint | Bug_report.Plan_diff | Bug_report.Const_opt ->
       (* the divergence was observed directly; the two executions are
          their own witnesses *)
       true
@@ -172,6 +172,11 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
   let plan_diff_enabled =
     List.exists
       (fun o -> String.equal (Oracle.name o) "plan_diff")
+      config.oracles
+  in
+  let const_opt_enabled =
+    List.exists
+      (fun o -> String.equal (Oracle.name o) "const_opt")
       config.oracles
   in
   let record ?expected ?actual kind message =
@@ -232,6 +237,12 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
           {
             !stats with
             Stats.plan_divergences = (!stats).Stats.plan_divergences + 1;
+          }
+    | Bug_report.Const_opt ->
+        stats :=
+          {
+            !stats with
+            Stats.const_divergences = (!stats).Stats.const_divergences + 1;
           }
     | _ -> ());
     stats := Stats.add_report !stats r;
@@ -521,6 +532,13 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
                                       Stats.plan_checks =
                                         (!stats).Stats.plan_checks + 1;
                                     };
+                                if const_opt_enabled then
+                                  stats :=
+                                    {
+                                      !stats with
+                                      Stats.const_checks =
+                                        (!stats).Stats.const_checks + 1;
+                                    };
                                 match
                                   dispatch
                                     (Oracle.Containment_check
@@ -528,6 +546,7 @@ let run_round ?recorder (config : Config.t) ~db_seed : Stats.t =
                                          Oracle.check_stmt = stmt;
                                          negative;
                                          pivot_found;
+                                         check_pivot = pivot;
                                        })
                                 with
                                 | Some (kind, message) ->

@@ -14,6 +14,8 @@ type t = {
   lint_diagnostics : int;
   plan_checks : int;
   plan_divergences : int;
+  const_checks : int;
+  const_divergences : int;
 }
 
 (* truth_values is kept on the canonical key set so that [merge] is
@@ -41,6 +43,8 @@ let empty =
     lint_diagnostics = 0;
     plan_checks = 0;
     plan_divergences = 0;
+    const_checks = 0;
+    const_divergences = 0;
   }
 
 let merge a b =
@@ -61,6 +65,8 @@ let merge a b =
     lint_diagnostics = a.lint_diagnostics + b.lint_diagnostics;
     plan_checks = a.plan_checks + b.plan_checks;
     plan_divergences = a.plan_divergences + b.plan_divergences;
+    const_checks = a.const_checks + b.const_checks;
+    const_divergences = a.const_divergences + b.const_divergences;
   }
 
 let merge_all = List.fold_left merge empty
@@ -80,10 +86,10 @@ let summary t =
     "databases=%d pivots=%d containment-checks=%d statements=%d \
      interp-failures=%d false-positives=%d negative-checks=%d \
      lint-checks=%d lint-diagnostics=%d plan-checks=%d plan-divergences=%d \
-     findings=%d"
+     const-checks=%d const-divergences=%d findings=%d"
     t.databases t.pivots t.queries t.statements t.interp_failures
     t.false_positives t.negative_checks t.lint_checks t.lint_diagnostics
-    t.plan_checks t.plan_divergences
+    t.plan_checks t.plan_divergences t.const_checks t.const_divergences
     (List.length t.reports)
 
 let pp fmt t = Format.pp_print_string fmt (summary t)

@@ -34,6 +34,12 @@ type t = {
   plan_divergences : int;
       (** plan-diff oracle reports recorded (cross-plan result
           disagreements) *)
+  const_checks : int;
+      (** containment checks the const-opt oracle re-executed after
+          constant substitution and simplification *)
+  const_divergences : int;
+      (** const-opt oracle reports recorded (original vs simplified
+          result disagreements) *)
 }
 
 val empty : t

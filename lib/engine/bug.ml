@@ -54,6 +54,10 @@ type t =
   | Pg_intended_bool_cast_error
   | Pg_dup_bitmapset_crash
   | Pg_dup_index_null_error
+  (* --- sqlite-like: constant-folding bugs (const-opt oracle) --- *)
+  | Sq_fold_null_and
+  | Sq_fold_affinity_cmp
+  | Sq_fold_not_null_true
 [@@deriving show { with_path = false }, eq, enum]
 
 let all =
@@ -283,6 +287,20 @@ let info = function
   | Pg_dup_index_null_error ->
       mk pg O_error Duplicate "Sec. 4.6"
         "second trigger of the unexpected-NULL index error; duplicate"
+  | Sq_fold_null_and ->
+      mk sq O_containment Fixed "Sec. 6 (CODDTest extension)"
+        "constant folder rewrites `NULL AND x` to NULL without checking \
+         whether x is FALSE, so `NULL AND FALSE` evaluates to NULL \
+         instead of FALSE on literal operands"
+  | Sq_fold_affinity_cmp ->
+      mk sq O_containment Fixed "Sec. 6 (CODDTest extension)"
+        "constant folder applies NUMERIC affinity to a text literal \
+         compared against a numeric literal, although literals carry no \
+         affinity; 'abc' > 5 folds via 0 > 5"
+  | Sq_fold_not_null_true ->
+      mk sq O_containment Verified "Sec. 6 (CODDTest extension)"
+        "constant folder simplifies `NOT NULL` to TRUE (treating NULL as \
+         FALSE) instead of propagating NULL"
 
 let is_true_bug b =
   match (info b).status with

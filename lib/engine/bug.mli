@@ -79,6 +79,10 @@ type t =
   | Pg_intended_bool_cast_error
   | Pg_dup_bitmapset_crash
   | Pg_dup_index_null_error
+  (* --- sqlite-like: constant-folding bugs (const-opt oracle) --- *)
+  | Sq_fold_null_and
+  | Sq_fold_affinity_cmp
+  | Sq_fold_not_null_true
 
 val pp : Format.formatter -> t -> unit
 val show : t -> string

@@ -160,6 +160,13 @@ let rec compile_expr (c : cenv) (e : A.expr) : thunk =
           fun () ->
             cov env "unop.not";
             cg ()
+      (* constant folder treats the NULL literal as FALSE under NOT *)
+      | A.Lit Value.Null
+        when Dialect.equal dialect Dialect.Sqlite_like
+             && Bug.on env.Eval.bugs Bug.Sq_fold_not_null_true ->
+          fun () ->
+            cov env "unop.not";
+            Ok (Eval.bool_value dialect Tvl.True)
       | _ ->
           let ci = compile_expr c inner in
           fun () ->
@@ -348,6 +355,18 @@ and compile_binary c op a b : thunk =
     Eval.value_tvl env v
   in
   match op with
+  | A.And
+    when (match (a, b) with
+         | A.Lit Value.Null, _ | _, A.Lit Value.Null -> true
+         | _ -> false)
+         && Dialect.equal dialect Dialect.Sqlite_like
+         && Bug.on env.Eval.bugs Bug.Sq_fold_null_and ->
+      (* constant folder rewrites `NULL AND x` to NULL without checking
+         whether x is FALSE; operand thunks are skipped, like the
+         interpreter *)
+      fun () ->
+        cov env "binop.and";
+        Ok (Eval.bool_value dialect Tvl.Unknown)
   | A.And ->
       let ca = compile_expr c a in
       let cb = compile_expr c b in

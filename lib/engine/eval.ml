@@ -224,7 +224,23 @@ let compare_prep env op ea eb : cmp_prep =
   in
   let fa, fb =
     match env.dialect with
-    | Dialect.Sqlite_like -> sqlite_affinity_prep env ea eb
+    | Dialect.Sqlite_like -> (
+        let fa, fb = sqlite_affinity_prep env ea eb in
+        (* Listing-7-style folding bug: literals carry no affinity, but the
+           buggy constant folder coerces a text literal compared against a
+           numeric literal anyway, so 'abc' > 5 goes through 0 > 5. *)
+        if bug env Bug.Sq_fold_affinity_cmp then
+          let numericish = function
+            | Value.Int _ | Value.Real _ -> true
+            | _ -> false
+          and textish = function Value.Text _ -> true | _ -> false in
+          match (ea, eb) with
+          | A.Lit la, A.Lit lb when numericish la && textish lb ->
+              (fa, Coerce.to_numeric)
+          | A.Lit la, A.Lit lb when textish la && numericish lb ->
+              (Coerce.to_numeric, fb)
+          | _ -> (fa, fb)
+        else (fa, fb))
     | Dialect.Mysql_like | Dialect.Postgres_like -> (Fun.id, Fun.id)
   in
   {
@@ -1066,6 +1082,11 @@ and eval_unary env op inner =
         when Dialect.equal env.dialect Dialect.Mysql_like
              && bug env Bug.My_double_negation_fold ->
           eval env grandchild
+      (* constant folder treats the NULL literal as FALSE under NOT *)
+      | A.Lit Value.Null
+        when Dialect.equal env.dialect Dialect.Sqlite_like
+             && bug env Bug.Sq_fold_not_null_true ->
+          Ok (bool_value env.dialect Tvl.True)
       | _ ->
           let* t = eval_tvl env inner in
           Ok (bool_value env.dialect (Tvl.not_ t)))
@@ -1083,6 +1104,17 @@ and eval_unary env op inner =
 
 and eval_binary env op a b =
   match op with
+  | A.And
+    when (match (a, b) with
+         | A.Lit Value.Null, _ | _, A.Lit Value.Null -> true
+         | _ -> false)
+         && Dialect.equal env.dialect Dialect.Sqlite_like
+         && bug env Bug.Sq_fold_null_and ->
+      (* constant folder rewrites `NULL AND x` to NULL without checking
+         whether x is FALSE; operands are skipped like the engine's
+         short-circuit would not *)
+      cov env "binop.and";
+      Ok (bool_value env.dialect Tvl.Unknown)
   | A.And ->
       cov env "binop.and";
       let* ta = eval_tvl env a in

@@ -1,0 +1,130 @@
+(* Constant-optimization oracle overhead benchmark (the `bench constopt`
+   gate).
+
+   Runs the same fixed seed range twice — once with the paper's default
+   oracles and once with the CODDTest-style constant-optimization oracle
+   appended — asserts the merged bug-report sets are identical (the
+   oracle's single re-execution per eligible check goes through
+   Session.query_forced, which counts no statements, records no coverage
+   and draws no randomness, so on a bug-free engine it must be
+   campaign-neutral), and records both walls plus the overhead fraction
+   in BENCH_constopt.json.  The acceptance budget is <15% overhead; the
+   configurations run interleaved and each keeps its best wall, like
+   trace_bench. *)
+
+open Sqlval
+
+let budget = 0.15
+
+let report_key (r : Pqs.Bug_report.t) =
+  (r.Pqs.Bug_report.seed, Pqs.Bug_report.oracle_label r.Pqs.Bug_report.oracle,
+   Pqs.Bug_report.script r)
+
+(* interleaved minima, identical rationale to Trace_bench.best_interleaved *)
+let best_interleaved ~batch ~max_runs ~settle run_a run_b =
+  let best cur (c, w) =
+    match cur with
+    | Some (_, w') when (w' : float) <= w -> cur
+    | _ -> Some (c, w)
+  in
+  let rec go a b runs =
+    let a = ref a and b = ref b in
+    for _ = 1 to batch do
+      a := best !a (run_a ());
+      b := best !b (run_b ())
+    done;
+    let _, wa = Option.get !a and _, wb = Option.get !b in
+    let runs = runs + batch in
+    if runs >= max_runs || (wb -. wa) /. wa < settle then
+      (Option.get !a, Option.get !b)
+    else go !a !b runs
+  in
+  go None None 0
+
+let json ~dialect ~databases ~off_wall ~on_wall ~overhead ~identical
+    ~statements ~const_checks ~reports =
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"constopt\",";
+      Printf.sprintf "  \"dialect\": %S," (Dialect.name dialect);
+      Printf.sprintf "  \"databases\": %d," databases;
+      Printf.sprintf "  \"statements\": %d," statements;
+      Printf.sprintf "  \"const_checks\": %d," const_checks;
+      Printf.sprintf "  \"reports\": %d," reports;
+      Printf.sprintf "  \"oracle_off_wall_s\": %.4f," off_wall;
+      Printf.sprintf "  \"oracle_on_wall_s\": %.4f," on_wall;
+      Printf.sprintf "  \"overhead_fraction\": %.4f," overhead;
+      Printf.sprintf "  \"budget_fraction\": %.2f," budget;
+      Printf.sprintf "  \"within_budget\": %b," (overhead < budget);
+      Printf.sprintf "  \"identical_reports\": %b" identical;
+      "}";
+    ]
+  ^ "\n"
+
+let run ?(databases = 300) ?(out = "BENCH_constopt.json") () =
+  let dialect = Dialect.Sqlite_like in
+  let seed_lo = 1 and seed_hi = 1 + databases in
+  let campaign ~const_opt () =
+    Gc.full_major ();
+    let oracles =
+      if const_opt then Pqs.Oracle.defaults @ [ Pqs.Const_opt.oracle () ]
+      else Pqs.Oracle.defaults
+    in
+    let config = Pqs.Runner.Config.make ~oracles dialect in
+    let c = Pqs.Campaign.run ~domains:1 ~seed_lo ~seed_hi config in
+    (c, c.Pqs.Campaign.elapsed)
+  in
+  ignore (campaign ~const_opt:false ());
+  ignore (campaign ~const_opt:true ());
+  let (off_c, off_wall), (on_c, on_wall) =
+    best_interleaved ~batch:7 ~max_runs:28 ~settle:0.04
+      (campaign ~const_opt:false) (campaign ~const_opt:true)
+  in
+  let overhead =
+    if off_wall <= 0.0 then 0.0 else (on_wall -. off_wall) /. off_wall
+  in
+  let identical =
+    List.map report_key (Pqs.Campaign.reports off_c)
+    = List.map report_key (Pqs.Campaign.reports on_c)
+  in
+  let statements = off_c.Pqs.Campaign.stats.Pqs.Stats.statements in
+  let const_checks = on_c.Pqs.Campaign.stats.Pqs.Stats.const_checks in
+  let reports = List.length (Pqs.Campaign.reports off_c) in
+  let oc = open_out out in
+  output_string oc
+    (json ~dialect ~databases ~off_wall ~on_wall ~overhead ~identical
+       ~statements ~const_checks ~reports);
+  close_out oc;
+  let row label wall (c : Pqs.Campaign.t) =
+    [
+      label;
+      string_of_int c.Pqs.Campaign.stats.Pqs.Stats.statements;
+      string_of_int c.Pqs.Campaign.stats.Pqs.Stats.const_checks;
+      string_of_int (List.length (Pqs.Campaign.reports c));
+      Printf.sprintf "%.3f" wall;
+      Printf.sprintf "%.0f"
+        (float_of_int c.Pqs.Campaign.stats.Pqs.Stats.statements /. wall);
+    ]
+  in
+  Fmt_table.print
+    ~title:
+      (Printf.sprintf
+         "Const-opt oracle overhead — %d databases, interleaved minima; \
+          overhead %.1f%% (budget %.0f%%), report sets identical: %b \
+          (written to %s)"
+         databases (100.0 *. overhead) (100.0 *. budget) identical out)
+    ~columns:
+      [
+        "oracles"; "statements"; "const-checks"; "reports"; "seconds";
+        "stmts/s";
+      ]
+    [ row "defaults" off_wall off_c; row "defaults+const-opt" on_wall on_c ];
+  if overhead >= budget then
+    Printf.printf
+      "WARNING: const-opt oracle overhead %.1f%% exceeds the %.0f%% budget\n"
+      (100.0 *. overhead) (100.0 *. budget);
+  if not identical then
+    Printf.printf
+      "WARNING: enabling the const-opt oracle changed the report set — \
+       campaign-neutrality violated\n"

@@ -12,8 +12,13 @@ let hunt_bug ~budget ~seeds bug =
     | [] -> None
     | seed :: rest -> (
         let config =
+          (* defaults plus the const-opt oracle: the constant-folding bug
+             family only manifests on the re-executed simplified variant,
+             and appending after the defaults preserves report priority
+             for every other class *)
           Pqs.Runner.Config.make ~seed
             ~bugs:(Engine.Bug.set_of_list [ bug ])
+            ~oracles:(Pqs.Oracle.defaults @ [ Pqs.Const_opt.oracle () ])
             info.Engine.Bug.dialect
         in
         match Pqs.Runner.hunt config ~max_queries:budget with

@@ -64,6 +64,7 @@ module Phase = struct
     | Containment
     | Lint
     | Plan_diff
+    | Const_opt
     | Parse
     | Plan
     | Execute
@@ -77,11 +78,12 @@ module Phase = struct
     | Containment -> 5
     | Lint -> 6
     | Plan_diff -> 7
-    | Parse -> 8
-    | Plan -> 9
-    | Execute -> 10
+    | Const_opt -> 8
+    | Parse -> 9
+    | Plan -> 10
+    | Execute -> 11
 
-  let count = 11
+  let count = 12
 
   let name = function
     | Gen_db -> "gen_db"
@@ -92,6 +94,7 @@ module Phase = struct
     | Containment -> "containment"
     | Lint -> "lint"
     | Plan_diff -> "plan_diff"
+    | Const_opt -> "const_opt"
     | Parse -> "parse"
     | Plan -> "plan"
     | Execute -> "execute"
@@ -99,13 +102,13 @@ module Phase = struct
   let metric = function
     | Parse | Plan | Execute -> "minidb_phase_seconds"
     | Gen_db | Pivot | Gen_expr | Rectify | Interp | Containment | Lint
-    | Plan_diff ->
+    | Plan_diff | Const_opt ->
         "pqs_phase_seconds"
 
   let all =
     [
       Gen_db; Pivot; Gen_expr; Rectify; Interp; Containment; Lint; Plan_diff;
-      Parse; Plan; Execute;
+      Const_opt; Parse; Plan; Execute;
     ]
 end
 

@@ -94,6 +94,7 @@ module Phase : sig
     | Containment  (** executing the containment check on the engine *)
     | Lint  (** static analysis self-check oracle *)
     | Plan_diff  (** multi-plan differential execution oracle *)
+    | Const_opt  (** constant-optimization (CODDTest) oracle *)
     | Parse  (** SQL text parsing (engine) *)
     | Plan  (** access-path planning (engine) *)
     | Execute  (** statement execution (engine) *)

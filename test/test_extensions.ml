@@ -9,7 +9,7 @@ module A = Sqlast.Ast
 (* ---------- bug catalog ---------- *)
 
 let test_catalog_invariants () =
-  Alcotest.(check int) "catalog size" 53 (List.length Engine.Bug.all);
+  Alcotest.(check int) "catalog size" 56 (List.length Engine.Bug.all);
   (* of_string round-trips every name *)
   List.iter
     (fun b ->
@@ -19,12 +19,12 @@ let test_catalog_invariants () =
     Engine.Bug.all;
   (* per-dialect split matches the scaled paper proportions *)
   let count d = List.length (Engine.Bug.for_dialect d) in
-  Alcotest.(check int) "sqlite entries" 29 (count Dialect.Sqlite_like);
+  Alcotest.(check int) "sqlite entries" 32 (count Dialect.Sqlite_like);
   Alcotest.(check int) "mysql entries" 14 (count Dialect.Mysql_like);
   Alcotest.(check int) "postgres entries" 10 (count Dialect.Postgres_like);
   (* true bugs = fixed + verified *)
   let true_bugs = List.filter Engine.Bug.is_true_bug Engine.Bug.all in
-  Alcotest.(check int) "true bugs" 42 (List.length true_bugs);
+  Alcotest.(check int) "true bugs" 45 (List.length true_bugs);
   (* every name encodes its dialect prefix *)
   List.iter
     (fun b ->
