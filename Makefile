@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint plandiff constopt compile fmt bench telemetry trace clean
+.PHONY: all build test smoke lint plandiff constopt compile fmt bench telemetry trace frontier clean
 
 all: build
 
@@ -47,6 +47,13 @@ telemetry:
 # BENCH_trace.json.
 trace:
 	$(DUNE) exec bench/main.exe -- quick trace
+
+# Coverage-guided generation gate: per-bug blind vs guided time to first
+# detection (guided must re-detect everything blind does — guidance is
+# strictly additive), plus the frontier-accounting overhead estimate
+# (<5% of a blind campaign).  Writes BENCH_frontier.json.
+frontier:
+	$(DUNE) exec bench/main.exe -- quick frontier
 
 # Plan-space differential oracle: bug-free sweeps must find no divergence
 # (soundness), each targeted planner-bug sweep must (detection), and the

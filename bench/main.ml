@@ -206,6 +206,9 @@ let run_target b = function
       Experiments.Telemetry_bench.run ~databases:(b.throughput_queries / 3) ()
   | "trace" ->
       Experiments.Trace_bench.run ~databases:(b.throughput_queries / 3) ()
+  | "frontier" ->
+      Experiments.Frontier_bench.run ~budget:(b.throughput_queries / 5)
+        ~overhead_databases:(b.throughput_queries / 12) ()
   | "plandiff" ->
       Experiments.Plandiff_bench.run ~databases:(b.throughput_queries / 3) ()
   | "constopt" ->
@@ -224,7 +227,8 @@ let run_target b = function
 let all_targets =
   [
     "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3"; "perf";
-    "campaign"; "telemetry"; "trace"; "plandiff"; "constopt"; "compile";
+    "campaign"; "telemetry"; "trace"; "frontier"; "plandiff"; "constopt";
+    "compile";
     "baselines";
     "ablations";
     "metamorphic"; "micro";

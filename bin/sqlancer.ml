@@ -262,9 +262,43 @@ let run_cmd =
 
 (* ---- campaign ---- *)
 
+(* campaign findings, deduplicated by minimized-repro fingerprint: the
+   same engine defect found from many seeds prints once, with a count *)
+let print_deduped_reports ~bugs reports =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let r = Pqs.Reducer.reduce_report r ~bugs in
+      let fp =
+        Digest.string
+          (Pqs.Bug_report.oracle_token r.Pqs.Bug_report.oracle
+          ^ "\n"
+          ^ Pqs.Bug_report.script r)
+      in
+      match Hashtbl.find_opt tbl fp with
+      | Some (first, n) -> Hashtbl.replace tbl fp (first, n + 1)
+      | None ->
+          Hashtbl.add tbl fp (r, 1);
+          order := fp :: !order)
+    reports;
+  let distinct = List.rev !order in
+  List.iter
+    (fun fp ->
+      let r, n = Hashtbl.find tbl fp in
+      Format.printf "%a@." Pqs.Bug_report.pp r;
+      if n > 1 then
+        Printf.printf "  (%d more finding(s) share this repro fingerprint)\n"
+          (n - 1))
+    distinct;
+  if List.length distinct < List.length reports then
+    Printf.printf "findings: %d distinct of %d total\n" (List.length distinct)
+      (List.length reports)
+
 (* top-of-funnel operator summary derived from the merged registry:
-   slowest phase by total time, round latency quantiles, throughput *)
-let funnel_line tele (c : Pqs.Campaign.t) =
+   slowest phase by total time, round latency quantiles, throughput,
+   per-dialect engine coverage and frontier fractions *)
+let funnel_line tele cov (c : Pqs.Campaign.t) =
   let slowest =
     List.fold_left
       (fun acc (s : Telemetry.sample) ->
@@ -285,36 +319,46 @@ let funnel_line tele (c : Pqs.Campaign.t) =
     | Some v -> Printf.sprintf "%.0fms" (v *. 1000.0)
     | None -> "n/a"
   in
-  Printf.sprintf "funnel: slowest-phase=%s p50-round=%s p99-round=%s stmts/s=%.0f"
+  let universe = Pqs.Gen_bias.universe c.Pqs.Campaign.dialect in
+  Printf.sprintf
+    "funnel: slowest-phase=%s p50-round=%s p99-round=%s stmts/s=%.0f \
+     coverage[%s]=%.0f%% frontier=%d/%d (%.0f%%)"
     (match slowest with
     | Some (phase, sum) -> Printf.sprintf "%s(%.2fs)" phase sum
     | None -> "n/a")
     (quant 0.5) (quant 0.99)
     (Pqs.Campaign.statements_per_sec c)
+    (Sqlval.Dialect.name c.Pqs.Campaign.dialect)
+    (100.0 *. Engine.Coverage.fraction cov)
+    (Frontier.hit_in ~universe c.Pqs.Campaign.stats.Pqs.Stats.frontier)
+    (List.length universe)
+    (100.0
+    *. Frontier.fraction ~universe c.Pqs.Campaign.stats.Pqs.Stats.frontier)
 
 let campaign_run dialect seed databases domains trace chrome_trace all_bugs
-    extra_oracles backend metrics bundles trace_sample =
+    extra_oracles backend metrics bundles trace_sample guided frontier_json =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
   in
   let oracles = oracles_of extra_oracles in
-  (* always enabled for campaigns: the funnel summary comes from it, and
+  (* always enabled for campaigns: the funnel summary comes from them, and
      recording is campaign-neutral (verified by test_telemetry) *)
   let telemetry = Telemetry.create () in
+  let coverage = Engine.Coverage.create () in
   let config =
-    Pqs.Runner.Config.make ~bugs ~oracles ~telemetry ~backend
-      ?bundle_dir:bundles ~trace_sample dialect
+    Pqs.Runner.Config.make ~bugs ~oracles ~telemetry ~coverage ~backend
+      ~guided ?bundle_dir:bundles ~trace_sample dialect
   in
   let c =
-    Pqs.Campaign.run ?domains ?trace ?chrome_trace ~seed_lo:seed
-      ~seed_hi:(seed + databases) config
+    Pqs.Campaign.run ?domains ?trace ?chrome_trace ?frontier_json
+      ~seed_lo:seed ~seed_hi:(seed + databases) config
   in
   Printf.printf "domains=%d wall=%.2fs stmts/s=%.0f\n%s\n%s\n"
     c.Pqs.Campaign.domains c.Pqs.Campaign.elapsed
     (Pqs.Campaign.statements_per_sec c)
     (Pqs.Stats.summary c.Pqs.Campaign.stats)
-    (funnel_line telemetry c);
+    (funnel_line telemetry coverage c);
   (match trace with
   | Some path -> Printf.printf "event trace written to %s\n" path
   | None -> ());
@@ -331,15 +375,18 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
       in
       Printf.printf "%d repro bundle(s) under %s\n" n dir
   | None -> ());
+  (match frontier_json with
+  | Some path -> Printf.printf "frontier snapshot written to %s\n" path
+  | None -> ());
   write_metrics telemetry metrics;
-  List.iter (print_report ~reduce:true ~bugs) (Pqs.Campaign.reports c);
+  print_deduped_reports ~bugs (Pqs.Campaign.reports c);
   if Pqs.Campaign.reports c = [] then 0 else 1
 
 let campaign dialect seed databases domains trace chrome_trace all_bugs
-    extra_oracles backend metrics bundles trace_sample =
+    extra_oracles backend metrics bundles trace_sample guided frontier_json =
   try
     campaign_run dialect seed databases domains trace chrome_trace all_bugs
-      extra_oracles backend metrics bundles trace_sample
+      extra_oracles backend metrics bundles trace_sample guided frontier_json
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -379,6 +426,24 @@ let campaign_cmd =
       & info [ "all-bugs" ]
           ~doc:"enable every catalog bug of the dialect (default: none)")
   in
+  let guided =
+    Arg.(
+      value & flag
+      & info [ "guided" ]
+          ~doc:
+            "coverage-guided generation: aim each pivot's queries at cold \
+             frontier points instead of sampling clause shapes blind \
+             (results then depend on the shard assignment)")
+  in
+  let frontier_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "frontier" ] ~docv:"FILE"
+          ~doc:
+            "write a JSON snapshot of the merged coverage frontier \
+             (cross-linking any repro bundles)")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -387,7 +452,114 @@ let campaign_cmd =
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
       $ chrome_trace $ all_bugs $ oracle_flags $ backend_arg $ metrics_arg
-      $ bundles_arg $ trace_sample_arg)
+      $ bundles_arg $ trace_sample_arg $ guided $ frontier_json)
+
+(* ---- top ---- *)
+
+let write_html_report d stale = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Pqs.Dashboard.render_html ~stale d));
+      Printf.printf "html report written to %s\n" path
+
+let is_summary_line line =
+  let prefix = "{\"type\":\"campaign" in
+  String.length line >= String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+let top dialect trace once report stale interval =
+  try
+    if once then begin
+      let d = Pqs.Dashboard.of_trace_file ~dialect trace in
+      print_string (Pqs.Dashboard.render ~ansi:false ~stale d);
+      write_html_report d stale report;
+      0
+    end
+    else begin
+      let d = Pqs.Dashboard.create ~dialect in
+      let finished = ref false in
+      let ic = open_in trace in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let buf = Buffer.create 256 in
+          (* channels do not latch EOF: once the writer appends more
+             bytes, the next [input_char] sees them, so this tails a
+             trace that is still streaming *)
+          let rec read_available () =
+            match input_char ic with
+            | '\n' ->
+                let line = Buffer.contents buf in
+                Buffer.clear buf;
+                ignore (Pqs.Dashboard.feed_line d line);
+                if is_summary_line line then finished := true
+                else read_available ()
+            | c ->
+                Buffer.add_char buf c;
+                read_available ()
+            | exception End_of_file -> ()
+          in
+          let rec loop () =
+            read_available ();
+            Pqs.Dashboard.sample_rate d ~now:(Unix.gettimeofday ());
+            print_string (Pqs.Dashboard.render ~ansi:true ~stale d);
+            flush stdout;
+            if not !finished then begin
+              Unix.sleepf interval;
+              loop ()
+            end
+          in
+          loop ());
+      write_html_report d stale report;
+      0
+    end
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let top_cmd =
+  let trace =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"the campaign's JSONL trace (written by campaign --trace)")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"print one snapshot of the whole trace and exit")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"also write a self-contained HTML report")
+  in
+  let stale =
+    Arg.(
+      value & opt int 10
+      & info [ "stale" ] ~docv:"N"
+          ~doc:"how many of the coldest unexercised points to list")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"live redraw interval")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "live campaign funnel: tail a JSONL trace and render rounds/sec, \
+          the per-oracle firing funnel, the frontier fraction and the \
+          most-stale unexercised points (exits when the trace ends)")
+    Term.(
+      const top $ dialect_arg $ trace $ once $ report $ stale $ interval)
 
 (* ---- replay ---- *)
 
@@ -654,6 +826,7 @@ let () =
             hunt_cmd;
             run_cmd;
             campaign_cmd;
+            top_cmd;
             metamorphic_cmd;
             lint_cmd;
             plan_diff_cmd;

@@ -11,6 +11,7 @@ type t = {
   outcomes : outcome list;
   domains : int;
   elapsed : float;
+  dialect : Sqlval.Dialect.t;
 }
 
 let reports t = t.stats.Stats.reports
@@ -20,23 +21,44 @@ let statements_per_sec t =
   else float_of_int t.stats.Stats.statements /. t.elapsed
 
 let seed_line o =
+  (* point names are [a-z0-9._] by construction, so they embed in JSON
+     without escaping *)
+  let points =
+    Frontier.points o.round.Stats.frontier
+    |> List.map (fun (p, _) -> "\"" ^ p ^ "\"")
+    |> String.concat ","
+  in
+  let oracle =
+    match o.round.Stats.reports with
+    | r :: _ ->
+        Printf.sprintf ",\"oracle\":\"%s\""
+          (Bug_report.oracle_token r.Bug_report.oracle)
+    | [] -> ""
+  in
   Printf.sprintf
     "{\"type\":\"seed\",\"seed\":%d,\"worker\":%d,\"statements\":%d,\
-     \"queries\":%d,\"pivots\":%d,\"reports\":%d,\"wall_ms\":%.3f}"
+     \"queries\":%d,\"pivots\":%d,\"reports\":%d,\"wall_ms\":%.3f%s,\
+     \"points\":[%s]}"
     o.seed o.worker o.round.Stats.statements o.round.Stats.queries
     o.round.Stats.pivots
     (List.length o.round.Stats.reports)
     (o.wall *. 1000.0)
+    oracle points
 
 let summary_line t =
+  let universe = Gen_bias.universe t.dialect in
   Printf.sprintf
     "{\"type\":\"campaign\",\"domains\":%d,\"databases\":%d,\
      \"statements\":%d,\"queries\":%d,\"reports\":%d,\"wall_s\":%.3f,\
-     \"statements_per_sec\":%.1f}"
+     \"statements_per_sec\":%.1f,\"dialect\":\"%s\",\
+     \"frontier_points\":%d,\"frontier_fraction\":%.4f}"
     t.domains t.stats.Stats.databases t.stats.Stats.statements
     t.stats.Stats.queries
     (List.length t.stats.Stats.reports)
     t.elapsed (statements_per_sec t)
+    (Sqlval.Dialect.name t.dialect)
+    (Frontier.hit_in ~universe t.stats.Stats.frontier)
+    (Frontier.fraction ~universe t.stats.Stats.frontier)
 
 let partial_line ~domains ~seeds_done =
   Printf.sprintf
@@ -95,7 +117,7 @@ let write_chrome_trace t path = Telemetry.Trace.write path (chrome_events t)
 
 (* ------------------------------------------------------------------ *)
 
-let run ?domains ?trace ?chrome_trace ~seed_lo ~seed_hi
+let run ?domains ?trace ?chrome_trace ?frontier_json ~seed_lo ~seed_hi
     (config : Runner.config) =
   let domains =
     match domains with
@@ -161,10 +183,14 @@ let run ?domains ?trace ?chrome_trace ~seed_lo ~seed_hi
     let config = Runner.Config.with_telemetry tele config in
     (* one ring per worker, recycled across its rounds by begin_round *)
     let recorder = Runner.recorder_for config in
+    (* worker-local guided-bias state: each shard learns from its own
+       earlier rounds (sharing across domains would race; per-seed results
+       stay deterministic per shard assignment) *)
+    let bias = ref Frontier.empty in
     List.map
       (fun s ->
         let started = Telemetry.Clock.now () -. t0 in
-        let round = Runner.run_round ~recorder config ~db_seed:s in
+        let round = Runner.run_round ~recorder ~bias config ~db_seed:s in
         let wall = Telemetry.Clock.now () -. t0 -. started in
         Telemetry.observe tele "pqs_round_seconds" wall;
         Telemetry.inc tele "pqs_rounds_total";
@@ -212,7 +238,48 @@ let run ?domains ?trace ?chrome_trace ~seed_lo ~seed_hi
       end;
       let outcomes = List.sort (fun a b -> compare a.seed b.seed) outcomes in
       let stats = Stats.merge_all (List.map (fun o -> o.round) outcomes) in
-      let t = { stats; outcomes; domains; elapsed } in
+      let dialect = config.Runner.Config.dialect in
+      let t = { stats; outcomes; domains; elapsed; dialect } in
+      let universe = Gen_bias.universe dialect in
+      if telemetry_enabled then begin
+        let dst = config.Runner.Config.telemetry in
+        let labels = [ ("dialect", Sqlval.Dialect.name dialect) ] in
+        Telemetry.set_gauge dst ~labels "pqs_frontier_points_hit"
+          (float_of_int (Frontier.hit_in ~universe stats.Stats.frontier));
+        Telemetry.set_gauge dst ~labels "pqs_frontier_fraction"
+          (Frontier.fraction ~universe stats.Stats.frontier);
+        (* time-to-first-hit per point group: walk outcomes in ascending
+           seed order and observe the completion time of the round that
+           first exercised each point *)
+        let seen = Hashtbl.create 256 in
+        List.iter
+          (fun o ->
+            List.iter
+              (fun (p, _) ->
+                if not (Hashtbl.mem seen p) then begin
+                  Hashtbl.replace seen p ();
+                  let group =
+                    match String.index_opt p '.' with
+                    | Some i -> String.sub p 0 i
+                    | None -> p
+                  in
+                  Telemetry.observe dst
+                    ~labels:[ ("phase", group) ]
+                    "pqs_frontier_first_hit_seconds" (o.started +. o.wall)
+                end)
+              (Frontier.points o.round.Stats.frontier))
+          outcomes
+      end;
+      (match frontier_json with
+      | Some path -> (
+          let bundles =
+            List.filter_map
+              (fun r -> r.Bug_report.bundle)
+              stats.Stats.reports
+          in
+          try Frontier.write_json ~universe ~bundles stats.Stats.frontier path
+          with Sys_error _ -> ())
+      | None -> ());
       (match trace_oc with
       | Some oc ->
           output_string oc (summary_line t ^ "\n");

@@ -30,6 +30,9 @@ type t = {
   outcomes : outcome list;  (** ascending seed order *)
   domains : int;
   elapsed : float;  (** campaign wall time, seconds *)
+  dialect : Sqlval.Dialect.t;
+      (** the campaign's dialect — fixes the frontier universe the summary
+          line and exported gauges are measured against *)
 }
 
 (** Merged bug reports, ascending seed order. *)
@@ -55,20 +58,38 @@ val statements_per_sec : t -> float
       additionally write a Chrome trace-event ([chrome://tracing] /
       Perfetto) JSON file with one complete event per seed on its
       worker's timeline.
+    @param frontier_json
+      write a {!Frontier.to_json} snapshot of the merged frontier
+      (measured against the dialect's {!Gen_bias.universe}) to this path,
+      cross-linking the repro bundles the campaign wrote.
     @param seed_lo inclusive start of the seed range
     @param seed_hi exclusive end of the seed range
+
+    Seed lines carry the round's frontier point names ([points]) and the
+    firing oracle token ([oracle], present only on reporting rounds) —
+    what [sqlancer top] tails for the live funnel.
 
     All duration measurements use the monotonic {!Telemetry.Clock}.  When
     [config]'s telemetry registry is enabled, each worker records into a
     private registry (merged into the config's after the join, like
     coverage), adding [pqs_round_seconds] / [pqs_rounds_total] per seed
-    and the [pqs_campaign_domains] / [pqs_campaign_seeds] gauges.
+    and the [pqs_campaign_domains] / [pqs_campaign_seeds] gauges; after
+    the join the campaign also exports the per-dialect
+    [pqs_frontier_points_hit] / [pqs_frontier_fraction] gauges and the
+    [pqs_frontier_first_hit_seconds] time-to-first-hit histogram labeled
+    by point group ([shape]/[expr]/[plan]).
+
+    With [Runner.Config.guided] each worker threads its own bias frontier
+    through its shard's rounds, so guided results depend on the shard
+    assignment (unlike blind campaigns, which stay domain-count
+    independent).
 
     [Config.seed] is ignored — the range provides the seeds. *)
 val run :
   ?domains:int ->
   ?trace:string ->
   ?chrome_trace:string ->
+  ?frontier_json:string ->
   seed_lo:int ->
   seed_hi:int ->
   Runner.config ->

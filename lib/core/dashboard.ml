@@ -1,0 +1,313 @@
+open Sqlval
+
+(* ------------------------------------------------------------------ *)
+(* Flat-JSON field extraction.  The trace is our own machine-written
+   format: one object per line, string values without embedded quotes,
+   at most one level of array nesting ("points").  A targeted scanner
+   keeps the dashboard dependency-free and tolerant of unknown fields. *)
+
+let find_raw line key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and len = String.length line in
+  let rec search i =
+    if i + nlen > len then None
+    else if String.sub line i nlen = needle then Some (i + nlen)
+    else search (i + 1)
+  in
+  match search 0 with
+  | None -> None
+  | Some start ->
+      let stop =
+        match line.[start] with
+        | '[' ->
+            let rec close j =
+              if j >= len then len else if line.[j] = ']' then j + 1 else close (j + 1)
+            in
+            close start
+        | '"' ->
+            let rec close j =
+              if j >= len then len else if line.[j] = '"' then j + 1 else close (j + 1)
+            in
+            close (start + 1)
+        | _ ->
+            let rec scan j =
+              if j >= len || line.[j] = ',' || line.[j] = '}' then j
+              else scan (j + 1)
+            in
+            scan start
+      in
+      Some (String.sub line start (stop - start))
+
+let find_int line key =
+  Option.bind (find_raw line key) (fun s -> int_of_string_opt (String.trim s))
+
+let find_float line key =
+  Option.bind (find_raw line key) (fun s -> float_of_string_opt (String.trim s))
+
+let find_str line key =
+  match find_raw line key with
+  | Some s when String.length s >= 2 && s.[0] = '"' ->
+      Some (String.sub s 1 (String.length s - 2))
+  | _ -> None
+
+let find_str_list line key =
+  match find_raw line key with
+  | Some s when String.length s >= 2 && s.[0] = '[' ->
+      let inner = String.sub s 1 (String.length s - 2) in
+      String.split_on_char ',' inner
+      |> List.filter_map (fun item ->
+             let item = String.trim item in
+             if String.length item >= 2 && item.[0] = '"' then
+               Some (String.sub item 1 (String.length item - 2))
+             else None)
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  dialect : Dialect.t;
+  universe : string list;
+  mutable rounds : int;
+  mutable statements : int;
+  mutable queries : int;
+  mutable pivots : int;
+  mutable reports : int;
+  mutable wall_ms : float;  (** summed per-round wall time *)
+  mutable workers : int list;
+  mutable oracle_counts : (string * int) list;
+  mutable frontier : Frontier.t;
+  mutable summary_wall_s : float option;
+  mutable summary_sps : float option;
+  (* live rate sampling *)
+  mutable rate_rounds : int;
+  mutable rate_time : float option;
+  mutable rate : float option;
+}
+
+let create ~dialect =
+  {
+    dialect;
+    universe = Gen_bias.universe dialect;
+    rounds = 0;
+    statements = 0;
+    queries = 0;
+    pivots = 0;
+    reports = 0;
+    wall_ms = 0.0;
+    workers = [];
+    oracle_counts = [];
+    frontier = Frontier.empty;
+    summary_wall_s = None;
+    summary_sps = None;
+    rate_rounds = 0;
+    rate_time = None;
+    rate = None;
+  }
+
+let bump_oracle t name =
+  let rec go = function
+    | [] -> [ (name, 1) ]
+    | (n, c) :: rest when String.equal n name -> (n, c + 1) :: rest
+    | x :: rest -> x :: go rest
+  in
+  t.oracle_counts <- go t.oracle_counts
+
+let feed_seed t line =
+  let get key = Option.value ~default:0 (find_int line key) in
+  t.rounds <- t.rounds + 1;
+  t.statements <- t.statements + get "statements";
+  t.queries <- t.queries + get "queries";
+  t.pivots <- t.pivots + get "pivots";
+  t.reports <- t.reports + get "reports";
+  t.wall_ms <- t.wall_ms +. Option.value ~default:0.0 (find_float line "wall_ms");
+  (match find_int line "worker" with
+  | Some w when not (List.mem w t.workers) -> t.workers <- w :: t.workers
+  | _ -> ());
+  (match find_str line "oracle" with
+  | Some o -> bump_oracle t o
+  | None -> ());
+  let seed = Option.value ~default:0 (find_int line "seed") in
+  match find_str_list line "points" with
+  | [] -> ()
+  | points ->
+      t.frontier <- Frontier.union t.frontier (Frontier.of_points ~seed points)
+
+let feed_summary t line =
+  t.summary_wall_s <- find_float line "wall_s";
+  t.summary_sps <- find_float line "statements_per_sec"
+
+let feed_line t line =
+  match find_str line "type" with
+  | Some "seed" ->
+      feed_seed t line;
+      true
+  | Some "campaign" ->
+      feed_summary t line;
+      true
+  | _ -> false
+
+let rounds t = t.rounds
+let reports t = t.reports
+let frontier t = t.frontier
+
+let oracle_funnel t =
+  List.sort (fun (_, a) (_, b) -> compare b a) t.oracle_counts
+
+let sample_rate t ~now =
+  (match t.rate_time with
+  | Some t0 when now > t0 ->
+      t.rate <- Some (float_of_int (t.rounds - t.rate_rounds) /. (now -. t0))
+  | _ -> ());
+  t.rate_time <- Some now;
+  t.rate_rounds <- t.rounds
+
+(* average rate over the whole trace when no live samples exist: per-round
+   wall times sum per worker, so campaign seconds ~ wall_ms / workers *)
+let avg_rate t =
+  match t.summary_wall_s with
+  | Some s when s > 0.0 -> float_of_int t.rounds /. s
+  | _ ->
+      let workers = max 1 (List.length t.workers) in
+      let secs = t.wall_ms /. 1000.0 /. float_of_int workers in
+      if secs > 0.0 then float_of_int t.rounds /. secs else 0.0
+
+let effective_rate t = match t.rate with Some r -> r | None -> avg_rate t
+
+let stmts_per_sec t =
+  match t.summary_sps with
+  | Some s -> s
+  | None ->
+      let workers = max 1 (List.length t.workers) in
+      let secs = t.wall_ms /. 1000.0 /. float_of_int workers in
+      if secs > 0.0 then float_of_int t.statements /. secs else 0.0
+
+let bar width frac =
+  let filled = int_of_float (frac *. float_of_int width) in
+  let filled = max 0 (min width filled) in
+  String.concat ""
+    (List.init width (fun i -> if i < filled then "#" else "-"))
+
+let stale_points ?(stale = 10) t =
+  Frontier.coldest ~n:stale ~universe:t.universe t.frontier
+  |> List.filter (fun (_, hits) -> hits = 0)
+
+let render ?(ansi = false) ?(stale = 10) t =
+  let buf = Buffer.create 2048 in
+  if ansi then Buffer.add_string buf "\027[2J\027[H";
+  let frac = Frontier.fraction ~universe:t.universe t.frontier in
+  Buffer.add_string buf
+    (Printf.sprintf "pqs campaign — %s\n"
+       (Dialect.display_name t.dialect));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "rounds %d   rounds/s %.1f   stmts/s %.0f   checks %d   reports %d\n"
+       t.rounds (effective_rate t) (stmts_per_sec t) t.queries t.reports);
+  Buffer.add_string buf
+    (Printf.sprintf "frontier [%s] %d/%d (%.1f%%)\n" (bar 32 frac)
+       (Frontier.hit_in ~universe:t.universe t.frontier)
+       (List.length t.universe) (100.0 *. frac));
+  (match oracle_funnel t with
+  | [] -> Buffer.add_string buf "oracle funnel: (no findings yet)\n"
+  | funnel ->
+      Buffer.add_string buf "oracle funnel:\n";
+      List.iter
+        (fun (o, c) ->
+          Buffer.add_string buf (Printf.sprintf "  %-14s %d\n" o c))
+        funnel);
+  (match stale_points ~stale t with
+  | [] -> Buffer.add_string buf "frontier fully exercised\n"
+  | cold ->
+      Buffer.add_string buf
+        (Printf.sprintf "stale points (%d coldest):\n" (List.length cold));
+      List.iter
+        (fun (p, _) -> Buffer.add_string buf (Printf.sprintf "  %s\n" p))
+        cold);
+  Buffer.contents buf
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_html ?(stale = 25) t =
+  let buf = Buffer.create 8192 in
+  let frac = Frontier.fraction ~universe:t.universe t.frontier in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  add "<title>pqs campaign report — %s</title>\n"
+    (html_escape (Dialect.display_name t.dialect));
+  add
+    "<style>body{font-family:monospace;margin:2em;background:#111;color:#eee}\n\
+     table{border-collapse:collapse;margin:1em 0}\n\
+     td,th{border:1px solid #444;padding:4px 10px;text-align:left}\n\
+     .bar{background:#333;width:320px;height:14px;display:inline-block}\n\
+     .fill{background:#4c4;height:14px;display:block}\n\
+     h1,h2{color:#8cf}.cold{color:#fa6}</style></head><body>\n";
+  add "<h1>pqs campaign — %s</h1>\n"
+    (html_escape (Dialect.display_name t.dialect));
+  add "<table><tr><th>rounds</th><th>rounds/s</th><th>stmts/s</th>\
+       <th>checks</th><th>reports</th></tr>";
+  add "<tr><td>%d</td><td>%.1f</td><td>%.0f</td><td>%d</td><td>%d</td></tr>\
+       </table>\n"
+    t.rounds (effective_rate t) (stmts_per_sec t) t.queries t.reports;
+  add "<h2>Coverage frontier</h2>\n";
+  add
+    "<p><span class=\"bar\"><span class=\"fill\" style=\"width:%.1f%%\">\
+     </span></span> %d/%d points (%.1f%%)</p>\n"
+    (100.0 *. frac)
+    (Frontier.hit_in ~universe:t.universe t.frontier)
+    (List.length t.universe) (100.0 *. frac);
+  add "<h2>Oracle funnel</h2>\n";
+  (match oracle_funnel t with
+  | [] -> add "<p>(no findings)</p>\n"
+  | funnel ->
+      add "<table><tr><th>oracle</th><th>firings</th></tr>";
+      List.iter
+        (fun (o, c) -> add "<tr><td>%s</td><td>%d</td></tr>" (html_escape o) c)
+        funnel;
+      add "</table>\n");
+  add "<h2>Stale frontier points</h2>\n";
+  (match stale_points ~stale t with
+  | [] -> add "<p>frontier fully exercised</p>\n"
+  | cold ->
+      add "<table><tr><th>point</th></tr>";
+      List.iter
+        (fun (p, _) ->
+          add "<tr><td class=\"cold\">%s</td></tr>" (html_escape p))
+        cold;
+      add "</table>\n");
+  add "<h2>Hottest points</h2>\n<table><tr><th>point</th><th>hits</th>\
+       <th>first seed</th></tr>";
+  let hot =
+    Frontier.points t.frontier
+    |> List.sort (fun (_, a) (_, b) ->
+           compare b.Frontier.hits a.Frontier.hits)
+  in
+  List.iteri
+    (fun i (p, e) ->
+      if i < 15 then
+        add "<tr><td>%s</td><td>%d</td><td>%d</td></tr>" (html_escape p)
+          e.Frontier.hits e.Frontier.first_seed)
+    hot;
+  add "</table>\n</body></html>\n";
+  Buffer.contents buf
+
+let of_trace_file ~dialect path =
+  let t = create ~dialect in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          ignore (feed_line t (input_line ic))
+        done;
+        t
+      with End_of_file -> t)

@@ -1,0 +1,50 @@
+(** Campaign funnel dashboard: aggregate a campaign's JSONL trace into a
+    live terminal view ([sqlancer top]) or a static HTML report.
+
+    The input is the {!Campaign} trace format — one [{"type":"seed",...}]
+    line per round carrying the round's frontier points and firing oracle,
+    terminated by a [{"type":"campaign",...}] summary (or a
+    [campaign_partial] marker).  {!feed_line} is incremental, so the
+    dashboard can tail a trace that is still being written; lines it does
+    not recognize are ignored, which keeps it robust against partial
+    writes and future fields. *)
+
+open Sqlval
+
+type t
+
+(** A fresh dashboard for a campaign against [dialect] (the dialect fixes
+    the frontier universe fractions are measured against). *)
+val create : dialect:Dialect.t -> t
+
+(** Consume one trace line.  Returns [true] when the line was a
+    recognized event (seed round or campaign summary). *)
+val feed_line : t -> string -> bool
+
+(** Rounds consumed so far. *)
+val rounds : t -> int
+
+(** Reports seen so far. *)
+val reports : t -> int
+
+(** The accumulated frontier. *)
+val frontier : t -> Frontier.t
+
+(** Per-oracle firing counts, descending. *)
+val oracle_funnel : t -> (string * int) list
+
+(** Mark the current moment as a rate sample: rounds per second since the
+    previous call (or since creation).  Call once per redraw interval in
+    live mode. *)
+val sample_rate : t -> now:float -> unit
+
+(** Render the terminal dashboard: rounds/sec, per-oracle firing funnel,
+    frontier fraction, and the [stale] most-stale unexercised points.
+    With [ansi] the output starts with a clear-screen sequence. *)
+val render : ?ansi:bool -> ?stale:int -> t -> string
+
+(** Render the same snapshot as a self-contained HTML report. *)
+val render_html : ?stale:int -> t -> string
+
+(** Feed a whole trace file. *)
+val of_trace_file : dialect:Dialect.t -> string -> t

@@ -1,0 +1,295 @@
+open Sqlval
+module A = Sqlast.Ast
+
+type shape = {
+  sh_tables : int;
+  sh_join : [ `Single | `Cross | `Inner | `Left ];
+  sh_sub : bool;
+  sh_where : int;
+  sh_distinct : bool;
+  sh_order : bool;
+  sh_group : bool;
+  sh_pred : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shape points                                                         *)
+
+let join_token = function
+  | `Single -> "single"
+  | `Cross -> "cross"
+  | `Inner -> "inner"
+  | `Left -> "left"
+
+let join_of_token = function
+  | "single" -> Some `Single
+  | "cross" -> Some `Cross
+  | "inner" -> Some `Inner
+  | "left" -> Some `Left
+  | _ -> None
+
+let b01 b = if b then 1 else 0
+
+let point_of_shape s =
+  Printf.sprintf "shape.j%s.v%d.w%d.d%d.o%d.g%d" (join_token s.sh_join)
+    (b01 s.sh_sub)
+    (max 1 (min 3 s.sh_where))
+    (b01 s.sh_distinct) (b01 s.sh_order) (b01 s.sh_group)
+
+let field prefix s =
+  let n = String.length prefix in
+  if String.length s > n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let flag prefix s =
+  match field prefix s with
+  | Some "0" -> Some false
+  | Some "1" -> Some true
+  | _ -> None
+
+let shape_of_point p =
+  match String.split_on_char '.' p with
+  | [ "shape"; j; v; w; d; o; g ] -> (
+      match
+        ( Option.bind (field "j" j) join_of_token,
+          flag "v" v,
+          field "w" w,
+          flag "d" d,
+          flag "o" o,
+          flag "g" g )
+      with
+      | Some join, Some sub, Some w, Some d, Some o, Some g
+        when w = "1" || w = "2" || w = "3" ->
+          Some
+            {
+              sh_tables = (match join with `Single -> 1 | _ -> 2);
+              sh_join = join;
+              sh_sub = sub;
+              sh_where = int_of_string w;
+              sh_distinct = d;
+              sh_order = o;
+              sh_group = g;
+              sh_pred = None;
+            }
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprinting                                                       *)
+
+let kind_of_node = function
+  | A.Lit _ | A.Col _ -> None
+  | A.Unary (A.Not, _) -> Some "not"
+  | A.Unary ((A.Neg | A.Pos | A.Bit_not), _) -> Some "unary"
+  | A.Binary (op, _, _) ->
+      Some
+        (match op with
+        | A.Eq | A.Neq | A.Lt | A.Le | A.Gt | A.Ge -> "cmp"
+        | A.Null_safe_eq -> "nullsafe_eq"
+        | A.And | A.Or -> "logic"
+        | A.Add | A.Sub | A.Mul | A.Div | A.Rem -> "arith"
+        | A.Concat -> "concat"
+        | A.Bit_and | A.Bit_or | A.Shift_left | A.Shift_right -> "bitop")
+  | A.Is { rhs = A.Is_null; _ } -> Some "is_null"
+  | A.Is { rhs = A.Is_true | A.Is_false; _ } -> Some "is_bool"
+  | A.Is { rhs = A.Is_expr _; _ } -> Some "is_expr"
+  | A.Is { rhs = A.Is_distinct_from _; _ } -> Some "is_distinct"
+  | A.Between _ -> Some "between"
+  | A.In_list _ -> Some "in"
+  | A.Like _ -> Some "like"
+  | A.Glob _ -> Some "glob"
+  | A.Cast _ -> Some "cast"
+  | A.Func _ -> Some "func"
+  | A.Agg _ -> Some "agg"
+  | A.Case _ -> Some "case"
+  | A.Collate _ -> Some "collate"
+
+let rec exprs_of_from = function
+  | A.F_table _ -> []
+  | A.F_join { left; right; on; _ } ->
+      exprs_of_from left @ exprs_of_from right @ Option.to_list on
+  | A.F_sub { sub; _ } -> exprs_of_query sub
+
+and exprs_of_query = function
+  | A.Q_select s -> exprs_of_select s
+  | A.Q_values rows -> List.concat rows
+  | A.Q_compound (_, a, b) -> exprs_of_query a @ exprs_of_query b
+
+and exprs_of_select (s : A.select) =
+  List.filter_map
+    (function A.Sel_expr (e, _) -> Some e | A.Star | A.Table_star _ -> None)
+    s.sel_items
+  @ List.concat_map exprs_of_from s.sel_from
+  @ Option.to_list s.sel_where @ s.sel_group_by
+  @ Option.to_list s.sel_having
+  @ List.map fst s.sel_order_by
+
+let rec conjuncts = function
+  | A.Binary (A.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec from_has_sub = function
+  | A.F_table _ -> false
+  | A.F_sub _ -> true
+  | A.F_join { left; right; _ } -> from_has_sub left || from_has_sub right
+
+let shape_of_select (s : A.select) =
+  let join =
+    match s.sel_from with
+    | [ A.F_join { kind = A.Inner; _ } ] -> `Inner
+    | [ A.F_join { kind = A.Left; _ } ] -> `Left
+    | [ A.F_join { kind = A.Cross; _ } ] -> `Cross
+    | [ _ ] -> `Single
+    | _ -> `Cross
+  in
+  {
+    sh_tables = (match join with `Single -> 1 | _ -> 2);
+    sh_join = join;
+    sh_sub = List.exists from_has_sub s.sel_from;
+    sh_where =
+      (match s.sel_where with
+      | None -> 1
+      | Some w -> min 3 (List.length (conjuncts w)));
+    sh_distinct = s.sel_distinct;
+    sh_order = s.sel_order_by <> [];
+    sh_group = s.sel_group_by <> [];
+    sh_pred = None;
+  }
+
+let fingerprint (s : A.select) =
+  let expr_points =
+    List.concat_map
+      (fun e ->
+        A.fold_expr
+          (fun acc n ->
+            match kind_of_node n with
+            | Some k -> ("expr." ^ k) :: acc
+            | None -> acc)
+          [] e
+        |> List.rev)
+      (exprs_of_select s)
+  in
+  point_of_shape (shape_of_select s) :: expr_points
+
+(* ------------------------------------------------------------------ *)
+(* Per-dialect universe                                                 *)
+
+let shape_points =
+  (* GROUP BY is only generated over a single pivot table (every selected
+     column must be plain and grouping needs one source), so g=1 combos
+     exist only under jsingle *)
+  List.concat_map
+    (fun j ->
+      List.concat_map
+        (fun v ->
+          List.concat_map
+            (fun w ->
+              List.concat_map
+                (fun d ->
+                  List.concat_map
+                    (fun o ->
+                      let gs = if j = `Single then [ false; true ] else [ false ] in
+                      List.map
+                        (fun g ->
+                          point_of_shape
+                            {
+                              sh_tables = (match j with `Single -> 1 | _ -> 2);
+                              sh_join = j;
+                              sh_sub = v;
+                              sh_where = w;
+                              sh_distinct = d;
+                              sh_order = o;
+                              sh_group = g;
+                              sh_pred = None;
+                            })
+                        gs)
+                    [ false; true ])
+                [ false; true ])
+            [ 1; 2; 3 ])
+        [ false; true ])
+    [ `Single; `Cross; `Inner; `Left ]
+
+let expr_kinds = function
+  | Dialect.Sqlite_like ->
+      [ "cmp"; "logic"; "not"; "unary"; "arith"; "concat"; "bitop"; "is_null";
+        "is_bool"; "is_expr"; "between"; "in"; "like"; "glob"; "case"; "cast";
+        "collate"; "func"; "agg" ]
+  | Dialect.Mysql_like ->
+      [ "cmp"; "logic"; "not"; "unary"; "arith"; "bitop"; "nullsafe_eq";
+        "is_null"; "is_bool"; "between"; "in"; "like"; "case"; "cast"; "func";
+        "agg" ]
+  | Dialect.Postgres_like ->
+      [ "cmp"; "logic"; "not"; "unary"; "arith"; "concat"; "is_null";
+        "is_bool"; "is_distinct"; "between"; "in"; "like"; "case"; "cast";
+        "func"; "agg" ]
+
+let plan_points dialect =
+  let base =
+    [ "full_scan"; "index_eq"; "index_range"; "index_like_prefix";
+      "partial_index"; "skip_scan"; "desc_index"; "or_union" ]
+  in
+  let base =
+    (* partial indexes are never generated for the mysql-like dialect
+       (Gen_db gates CREATE INDEX ... WHERE on sqlite/postgres) *)
+    if Dialect.equal dialect Dialect.Mysql_like then
+      List.filter (fun p -> p <> "partial_index") base
+    else base
+  in
+  List.map (fun p -> "plan." ^ p) base
+
+let universe dialect =
+  shape_points
+  @ List.map (fun k -> "expr." ^ k) (expr_kinds dialect)
+  @ plan_points dialect
+
+(* ------------------------------------------------------------------ *)
+(* Guided shape planning                                                *)
+
+let coldest_of rng frontier points =
+  match points with
+  | [] -> None
+  | _ ->
+      let m =
+        List.fold_left (fun m p -> min m (Frontier.hits frontier p)) max_int
+          points
+      in
+      Some (Rng.pick rng (List.filter (fun p -> Frontier.hits frontier p = m) points))
+
+let cold_pred ~rng ~dialect frontier =
+  (* aggregates cannot appear in WHERE, so they are not a valid conjunct
+     target (the single-row aggregate extension hits expr.agg through the
+     select list instead) *)
+  expr_kinds dialect
+  |> List.filter (fun k -> k <> "agg")
+  |> List.map (fun k -> "expr." ^ k)
+  |> coldest_of rng frontier
+  |> Option.map (fun p -> String.sub p 5 (String.length p - 5))
+
+let plan ~rng ~dialect frontier =
+  (* Shape guidance is corrective, not a replacement sampler.  Against a
+     mostly cold frontier "aim at the coldest point" degenerates into
+     uniform shape sampling, which hunts strictly worse than the tuned
+     blind distribution — so blind sampling keeps the wheel (and keeps
+     feeding the frontier) while guidance takes over a growing fraction
+     of pivots as coverage warms, when the still-cold points are exactly
+     the rare combinations the blind sampler would take longest to
+     reach.  (Predicate-kind rotation has no such failure mode — the kind
+     vocabulary warms within a few rounds — so {!cold_pred} is worth
+     applying from the start.) *)
+  let total = List.length shape_points in
+  let warm =
+    List.length
+      (List.filter (fun p -> Frontier.hits frontier p > 0) shape_points)
+  in
+  let guide_prob = 0.8 *. float_of_int warm /. float_of_int total in
+  if not (Rng.chance rng guide_prob) then None
+  else
+    match coldest_of rng frontier shape_points with
+  | None -> None
+  | Some point -> (
+      match shape_of_point point with
+      | None -> None
+      | Some s ->
+          let pred = cold_pred ~rng ~dialect frontier in
+          Some { s with sh_pred = pred })

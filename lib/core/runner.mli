@@ -66,6 +66,12 @@ module Config : sig
             once.  Ground-truth confirmation always re-runs findings on
             the interpreted reference engine, keeping the two backends
             mutually checking. *)
+    guided : bool;
+        (** coverage-guided generation: each pivot's queries aim at a cold
+            point of the accumulated frontier ({!Gen_bias.plan}) instead of
+            sampling clause shapes blind.  Guidance draws from a private
+            RNG stream, so it changes the sampling distribution without
+            perturbing the synthesis stream's determinism per seed. *)
   }
 
   val make :
@@ -89,11 +95,15 @@ module Config : sig
     ?bundle_dir:string ->
     ?trace_sample:int ->
     ?backend:Engine.Exec_backend.kind ->
+    ?guided:bool ->
     Sqlval.Dialect.t ->
     t
 
   (** Rebind the base seed (e.g. per worker). *)
   val with_seed : int -> t -> t
+
+  (** Toggle coverage-guided generation. *)
+  val with_guided : bool -> t -> t
 
   (** Select the execution backend. *)
   val with_backend : Engine.Exec_backend.kind -> t -> t
@@ -139,8 +149,16 @@ val recorder_for : config -> Trace.t
     deterministic unit of work campaigns shard across workers: the result
     depends only on [config] and [db_seed].  [recorder] supplies a reused
     flight recorder (see {!recorder_for}); when omitted the round creates
-    its own.  Recording never changes the round's outcome. *)
-val run_round : ?recorder:Trace.t -> config -> db_seed:int -> Stats.t
+    its own.  Recording never changes the round's outcome.
+
+    [bias] is the guided-generation state: a frontier accumulated across
+    rounds that shape planning reads and each round extends (only read
+    when [Config.guided]; a fresh local one is used when omitted).  The
+    round's own frontier — query fingerprints plus the round's
+    planner-path coverage deltas — is returned in [Stats.frontier]
+    regardless of guidance. *)
+val run_round :
+  ?recorder:Trace.t -> ?bias:Frontier.t ref -> config -> db_seed:int -> Stats.t
 
 (** Run rounds until [max_queries] containment checks were issued or a
     finding occurred [stop_on_first] (database seeds derive from

@@ -16,6 +16,7 @@ type t = {
   plan_divergences : int;
   const_checks : int;
   const_divergences : int;
+  frontier : Frontier.t;
 }
 
 (* truth_values is kept on the canonical key set so that [merge] is
@@ -45,6 +46,7 @@ let empty =
     plan_divergences = 0;
     const_checks = 0;
     const_divergences = 0;
+    frontier = Frontier.empty;
   }
 
 let merge a b =
@@ -67,6 +69,7 @@ let merge a b =
     plan_divergences = a.plan_divergences + b.plan_divergences;
     const_checks = a.const_checks + b.const_checks;
     const_divergences = a.const_divergences + b.const_divergences;
+    frontier = Frontier.union a.frontier b.frontier;
   }
 
 let merge_all = List.fold_left merge empty
@@ -86,10 +89,11 @@ let summary t =
     "databases=%d pivots=%d containment-checks=%d statements=%d \
      interp-failures=%d false-positives=%d negative-checks=%d \
      lint-checks=%d lint-diagnostics=%d plan-checks=%d plan-divergences=%d \
-     const-checks=%d const-divergences=%d findings=%d"
+     const-checks=%d const-divergences=%d frontier-points=%d findings=%d"
     t.databases t.pivots t.queries t.statements t.interp_failures
     t.false_positives t.negative_checks t.lint_checks t.lint_diagnostics
     t.plan_checks t.plan_divergences t.const_checks t.const_divergences
+    (Frontier.cardinal t.frontier)
     (List.length t.reports)
 
 let pp fmt t = Format.pp_print_string fmt (summary t)

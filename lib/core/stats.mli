@@ -40,6 +40,12 @@ type t = {
   const_divergences : int;
       (** const-opt oracle reports recorded (original vs simplified
           result disagreements) *)
+  frontier : Frontier.t;
+      (** coverage frontier: clause-combination / expression-kind /
+          planner-path points the run exercised ({!Gen_bias} owns the
+          vocabulary); merged with [Frontier.union], whose canonical
+          representation keeps structural equality intact for the
+          determinism tests *)
 }
 
 val empty : t

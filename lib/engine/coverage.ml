@@ -96,8 +96,19 @@ let merge_into ~dst ~src =
     (fun p n ->
       match Hashtbl.find_opt dst.counts p with
       | Some m -> Hashtbl.replace dst.counts p (m + n)
-      | None -> Hashtbl.replace dst.counts p n)
+      | None ->
+          (* a point [src] saw that [dst] never did is necessarily outside
+             the static universe (create pre-seeds every static point), so
+             it must count as an extra — silently adding it without the
+             bump made [universe_size]/[fraction] disagree between a
+             directly-hit instrument and a merged one *)
+          Hashtbl.replace dst.counts p n;
+          dst.extra <- dst.extra + 1)
     src.counts
+
+let points t =
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let union a b =
   let t = create () in

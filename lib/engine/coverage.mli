@@ -28,5 +28,10 @@ val merge_into : dst:t -> src:t -> unit
     arguments — campaign workers' private instruments fold into a total. *)
 val union : t -> t -> t
 
+(** Every point with its hit count, sorted by point name: the canonical
+    comparable view of an instrument (the monoid-law property tests
+    compare {!union} results through it). *)
+val points : t -> (string * int) list
+
 (** All statically declared feature points. *)
 val static_universe : string list
