@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test smoke lint plandiff constopt compile fmt bench telemetry trace frontier clean
+.PHONY: all build test smoke lint plandiff constopt compile fleet fmt bench telemetry trace frontier clean
 
 all: build
 
@@ -84,6 +84,15 @@ constopt:
 # and a >=2x rounds/sec speedup on sqlite.  Writes BENCH_compile.json.
 compile:
 	$(DUNE) exec bench/main.exe -- quick compile
+
+# Fleet observability gate: scaling (per-core efficiency >= 0.8 at 4
+# workers, core-aware so single-core CI is interpretable), exact merge
+# (the fleet aggregate's totals equal a sequential campaign's over the
+# same seeds), and kill recovery (a SIGKILLed shard's unfinished lease
+# tail is requeued with no seed lost or double-merged).  Writes
+# BENCH_fleet.json.
+fleet:
+	$(DUNE) exec bench/main.exe -- quick fleet
 
 clean:
 	$(DUNE) clean

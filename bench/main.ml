@@ -215,6 +215,9 @@ let run_target b = function
       Experiments.Constopt_bench.run ~databases:(b.throughput_queries / 3) ()
   | "compile" ->
       Experiments.Compile_bench.run ~databases:(b.throughput_queries / 10) ()
+  | "fleet" ->
+      Experiments.Fleet_bench.run ~workers:4
+        ~databases:(b.throughput_queries / 8) ()
   | "baselines" ->
       Experiments.Baseline_cmp.run ~fuzzer_budget:b.fuzzer_budget
         ~difftest_budget:b.difftest_budget (get_detections b)
@@ -228,7 +231,7 @@ let all_targets =
   [
     "table1"; "table2"; "table3"; "table4"; "figure2"; "figure3"; "perf";
     "campaign"; "telemetry"; "trace"; "frontier"; "plandiff"; "constopt";
-    "compile";
+    "compile"; "fleet";
     "baselines";
     "ablations";
     "metamorphic"; "micro";

@@ -270,12 +270,7 @@ let print_deduped_reports ~bugs reports =
   List.iter
     (fun r ->
       let r = Pqs.Reducer.reduce_report r ~bugs in
-      let fp =
-        Digest.string
-          (Pqs.Bug_report.oracle_token r.Pqs.Bug_report.oracle
-          ^ "\n"
-          ^ Pqs.Bug_report.script r)
-      in
+      let fp = Pqs.Bug_report.fingerprint r in
       match Hashtbl.find_opt tbl fp with
       | Some (first, n) -> Hashtbl.replace tbl fp (first, n + 1)
       | None ->
@@ -287,9 +282,10 @@ let print_deduped_reports ~bugs reports =
     (fun fp ->
       let r, n = Hashtbl.find tbl fp in
       Format.printf "%a@." Pqs.Bug_report.pp r;
-      if n > 1 then
-        Printf.printf "  (%d more finding(s) share this repro fingerprint)\n"
-          (n - 1))
+      Printf.printf "  fingerprint %s%s\n" (String.sub fp 0 12)
+        (if n > 1 then
+           Printf.sprintf " (%d more finding(s) share this repro)" (n - 1)
+         else ""))
     distinct;
   if List.length distinct < List.length reports then
     Printf.printf "findings: %d distinct of %d total\n" (List.length distinct)
@@ -336,7 +332,8 @@ let funnel_line tele cov (c : Pqs.Campaign.t) =
     *. Frontier.fraction ~universe c.Pqs.Campaign.stats.Pqs.Stats.frontier)
 
 let campaign_run dialect seed databases domains trace chrome_trace all_bugs
-    extra_oracles backend metrics bundles trace_sample guided frontier_json =
+    extra_oracles backend metrics metrics_every bundles trace_sample guided
+    frontier_json =
   let bugs =
     if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
     else Engine.Bug.empty_set
@@ -352,7 +349,8 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   in
   let c =
     Pqs.Campaign.run ?domains ?trace ?chrome_trace ?frontier_json
-      ~seed_lo:seed ~seed_hi:(seed + databases) config
+      ?metrics_every ?metrics_path:metrics ~seed_lo:seed
+      ~seed_hi:(seed + databases) config
   in
   Printf.printf "domains=%d wall=%.2fs stmts/s=%.0f\n%s\n%s\n"
     c.Pqs.Campaign.domains c.Pqs.Campaign.elapsed
@@ -383,10 +381,12 @@ let campaign_run dialect seed databases domains trace chrome_trace all_bugs
   if Pqs.Campaign.reports c = [] then 0 else 1
 
 let campaign dialect seed databases domains trace chrome_trace all_bugs
-    extra_oracles backend metrics bundles trace_sample guided frontier_json =
+    extra_oracles backend metrics metrics_every bundles trace_sample guided
+    frontier_json =
   try
     campaign_run dialect seed databases domains trace chrome_trace all_bugs
-      extra_oracles backend metrics bundles trace_sample guided frontier_json
+      extra_oracles backend metrics metrics_every bundles trace_sample guided
+      frontier_json
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -444,6 +444,18 @@ let campaign_cmd =
             "write a JSON snapshot of the merged coverage frontier \
              (cross-linking any repro bundles)")
   in
+  let metrics_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-every" ] ~docv:"SECS"
+          ~doc:
+            "with --metrics: atomically re-export the metrics file at \
+             least SECS seconds apart while the campaign runs, so a \
+             Prometheus scraper can watch it live (mid-run snapshots \
+             carry counters and frontier gauges; phase histograms land \
+             in the final export)")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -452,7 +464,189 @@ let campaign_cmd =
     Term.(
       const campaign $ dialect_arg $ seed_arg $ databases $ domains $ trace
       $ chrome_trace $ all_bugs $ oracle_flags $ backend_arg $ metrics_arg
-      $ bundles_arg $ trace_sample_arg $ guided $ frontier_json)
+      $ metrics_every $ bundles_arg $ trace_sample_arg $ guided
+      $ frontier_json)
+
+(* ---- fleet ---- *)
+
+let print_fleet_findings agg =
+  match Fleet.Aggregate.findings agg with
+  | [] -> ()
+  | findings ->
+      Printf.printf "distinct findings (first-discovering shard first):\n";
+      List.iter
+        (fun (f : Fleet.Aggregate.finding) ->
+          Printf.printf "  %s  %-14s shard %d seed %d  x%d%s\n"
+            (String.sub f.Fleet.Aggregate.f_fingerprint 0 12)
+            f.Fleet.Aggregate.f_oracle f.Fleet.Aggregate.f_shard
+            f.Fleet.Aggregate.f_seed f.Fleet.Aggregate.f_count
+            (match f.Fleet.Aggregate.f_bundle with
+            | Some b -> "  " ^ b
+            | None -> ""))
+        findings
+
+let fleet_run dialect seed databases workers chunk heartbeat_every stall_after
+    export_every dir all_bugs extra_oracles backend bundles trace_sample
+    guided quiet chaos =
+  let bugs =
+    if all_bugs then Engine.Bug.set_of_list (Engine.Bug.for_dialect dialect)
+    else Engine.Bug.empty_set
+  in
+  let oracles = oracles_of extra_oracles in
+  (* enabled so each worker batch snapshots a registry into its
+     heartbeats; the supervisor merges them into the fleet export *)
+  let telemetry = Telemetry.create () in
+  let config =
+    Pqs.Runner.Config.make ~bugs ~oracles ~telemetry ~backend ~guided
+      ?bundle_dir:bundles ~trace_sample dialect
+  in
+  let fc =
+    {
+      Fleet.Supervisor.workers;
+      chunk;
+      heartbeat_every;
+      stall_after;
+      poll = 0.05;
+      dir;
+      export_every;
+      chaos_kill_after = chaos;
+    }
+  in
+  let log =
+    if quiet then fun _ -> () else fun s -> Printf.printf "[fleet] %s\n%!" s
+  in
+  let r =
+    Fleet.Supervisor.run ~log fc config ~seed_lo:seed
+      ~seed_hi:(seed + databases)
+  in
+  let agg = r.Fleet.Supervisor.agg in
+  let c = Fleet.Aggregate.counters agg in
+  let universe = Pqs.Gen_bias.universe dialect in
+  let frontier = Fleet.Aggregate.frontier agg in
+  Printf.printf
+    "fleet: %d shard(s) over %d slot(s)  rounds=%d statements=%d queries=%d \
+     wall=%.2fs rounds/s=%.1f\n"
+    r.Fleet.Supervisor.spawned workers
+    (Fleet.Aggregate.rounds agg)
+    c.Fleet.Heartbeat.statements c.Fleet.Heartbeat.queries
+    r.Fleet.Supervisor.elapsed
+    (if r.Fleet.Supervisor.elapsed > 0.0 then
+       float_of_int (Fleet.Aggregate.rounds agg) /. r.Fleet.Supervisor.elapsed
+     else 0.0);
+  Printf.printf
+    "health: watchdog-kills=%d crashes=%d requeued-seeds=%d decode-errors=%d\n"
+    r.Fleet.Supervisor.watchdog_kills
+    (r.Fleet.Supervisor.crashes - r.Fleet.Supervisor.chaos_kills)
+    r.Fleet.Supervisor.requeued_seeds r.Fleet.Supervisor.decode_errors;
+  Printf.printf "frontier: %d/%d (%.1f%%)   findings: %d distinct of %d total\n"
+    (Frontier.hit_in ~universe frontier)
+    (List.length universe)
+    (100.0 *. Frontier.fraction ~universe frontier)
+    (Fleet.Aggregate.distinct_reports agg)
+    (Fleet.Aggregate.total_reports agg);
+  print_fleet_findings agg;
+  Printf.printf "fleet snapshots under %s (fleet.json, metrics.prom)\n" dir;
+  if Fleet.Aggregate.distinct_reports agg = 0 then 0 else 1
+
+let fleet dialect seed databases workers chunk heartbeat_every stall_after
+    export_every dir all_bugs extra_oracles backend bundles trace_sample
+    guided quiet chaos =
+  try
+    fleet_run dialect seed databases workers chunk heartbeat_every stall_after
+      export_every dir all_bugs extra_oracles backend bundles trace_sample
+      guided quiet chaos
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let fleet_cmd =
+  let databases =
+    Arg.(
+      value & opt int 256
+      & info [ "databases" ] ~docv:"N"
+          ~doc:"seed range size: one database round per seed")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"worker slots (concurrent shard processes)")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 32
+      & info [ "chunk" ] ~docv:"N" ~doc:"seeds per work-stealing lease")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 8
+      & info [ "heartbeat-every" ] ~docv:"N"
+          ~doc:"rounds per heartbeat batch")
+  in
+  let stall_after =
+    Arg.(
+      value & opt float 30.0
+      & info [ "stall-after" ] ~docv:"SECS"
+          ~doc:
+            "watchdog: kill and restart a shard whose heartbeats stop for \
+             this long (its unfinished seeds are requeued)")
+  in
+  let export_every =
+    Arg.(
+      value & opt float 2.0
+      & info [ "export-every" ] ~docv:"SECS"
+          ~doc:
+            "seconds between atomic fleet.json / metrics.prom / state.json \
+             snapshot exports")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "fleet directory: per-shard heartbeat files plus the exported \
+             snapshots (watch live with $(b,sqlancer top --fleet DIR))")
+  in
+  let all_bugs =
+    Arg.(
+      value & flag
+      & info [ "all-bugs" ]
+          ~doc:"enable every catalog bug of the dialect (default: none)")
+  in
+  let guided =
+    Arg.(
+      value & flag
+      & info [ "guided" ]
+          ~doc:
+            "coverage-guided generation (each shard's bias is local to its \
+             lease, so results depend on the lease assignment)")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"suppress per-event supervisor log lines")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-kill-after" ] ~docv:"ROUNDS"
+          ~doc:
+            "fault injection (for testing the watchdog): SIGKILL one \
+             running shard once the merged round count reaches ROUNDS")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "shard a seed range across supervised worker processes with \
+          heartbeats, a stall watchdog and live merged snapshots; the \
+          merged result is exactly the sequential run over the same seeds")
+    Term.(
+      const fleet $ dialect_arg $ seed_arg $ databases $ workers $ chunk
+      $ heartbeat_every $ stall_after $ export_every $ dir $ all_bugs
+      $ oracle_flags $ backend_arg $ bundles_arg $ trace_sample_arg $ guided
+      $ quiet $ chaos)
 
 (* ---- top ---- *)
 
@@ -470,52 +664,99 @@ let is_summary_line line =
   String.length line >= String.length prefix
   && String.sub line 0 (String.length prefix) = prefix
 
-let top dialect trace once report stale interval =
-  try
-    if once then begin
-      let d = Pqs.Dashboard.of_trace_file ~dialect trace in
-      print_string (Pqs.Dashboard.render ~ansi:false ~stale d);
-      write_html_report d stale report;
-      0
-    end
-    else begin
-      let d = Pqs.Dashboard.create ~dialect in
-      let finished = ref false in
-      let ic = open_in trace in
+let top_trace dialect trace once report stale interval =
+  if once then begin
+    let d = Pqs.Dashboard.of_trace_file ~dialect trace in
+    print_string (Pqs.Dashboard.render ~ansi:false ~stale d);
+    write_html_report d stale report;
+    0
+  end
+  else begin
+    (* tail through Fleet.Tail so rotation and in-place truncation of
+       the trace (logrotate, a restarted campaign reopening the same
+       path) reset the funnel instead of wedging or double-counting *)
+    let d = ref (Pqs.Dashboard.create ~dialect) in
+    let tail = Fleet.Tail.create trace in
+    let finished = ref false in
+    Fun.protect
+      ~finally:(fun () -> Fleet.Tail.close tail)
+      (fun () ->
+        let rec loop () =
+          List.iter
+            (function
+              | Fleet.Tail.Rotated -> d := Pqs.Dashboard.create ~dialect
+              | Fleet.Tail.Line line ->
+                  ignore (Pqs.Dashboard.feed_line !d line);
+                  if is_summary_line line then finished := true)
+            (Fleet.Tail.poll tail);
+          Pqs.Dashboard.sample_rate !d ~now:(Unix.gettimeofday ());
+          print_string (Pqs.Dashboard.render ~ansi:true ~stale !d);
+          flush stdout;
+          if not !finished then begin
+            Unix.sleepf interval;
+            loop ()
+          end
+        in
+        loop ());
+    write_html_report !d stale report;
+    0
+  end
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* the supervisor's fleet.json carries the run status; "done" ends the
+   live view (a snapshot read mid-rename is impossible: exports go
+   through atomic rename) *)
+let fleet_status dir =
+  match read_file (Filename.concat dir "fleet.json") with
+  | None -> None
+  | Some s -> (
+      match Fleet.Json.parse s with
+      | Ok j -> Option.bind (Fleet.Json.member "status" j) Fleet.Json.to_str
+      | Error _ -> None)
+
+let write_fleet_html v stale = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
       Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let buf = Buffer.create 256 in
-          (* channels do not latch EOF: once the writer appends more
-             bytes, the next [input_char] sees them, so this tails a
-             trace that is still streaming *)
-          let rec read_available () =
-            match input_char ic with
-            | '\n' ->
-                let line = Buffer.contents buf in
-                Buffer.clear buf;
-                ignore (Pqs.Dashboard.feed_line d line);
-                if is_summary_line line then finished := true
-                else read_available ()
-            | c ->
-                Buffer.add_char buf c;
-                read_available ()
-            | exception End_of_file -> ()
-          in
-          let rec loop () =
-            read_available ();
-            Pqs.Dashboard.sample_rate d ~now:(Unix.gettimeofday ());
-            print_string (Pqs.Dashboard.render ~ansi:true ~stale d);
-            flush stdout;
-            if not !finished then begin
-              Unix.sleepf interval;
-              loop ()
-            end
-          in
-          loop ());
-      write_html_report d stale report;
-      0
-    end
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Fleet.Fleet_view.render_html ~stale v));
+      Printf.printf "html report written to %s\n" path
+
+let top_fleet dialect dir once report stale interval =
+  let v = Fleet.Fleet_view.create ~dialect ~dir in
+  if once then begin
+    Fleet.Fleet_view.refresh v;
+    print_string (Fleet.Fleet_view.render ~ansi:false ~stale v);
+    write_fleet_html v stale report;
+    0
+  end
+  else begin
+    let rec loop () =
+      Fleet.Fleet_view.refresh v;
+      print_string (Fleet.Fleet_view.render ~ansi:true ~stale v);
+      flush stdout;
+      if fleet_status dir <> Some "done" then begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    in
+    loop ();
+    write_fleet_html v stale report;
+    0
+  end
+
+let top dialect trace fleet_dir once report stale interval =
+  try
+    match (trace, fleet_dir) with
+    | Some trace, None -> top_trace dialect trace once report stale interval
+    | None, Some dir -> top_fleet dialect dir once report stale interval
+    | _ ->
+        Printf.eprintf "error: pass exactly one of --trace FILE or --fleet DIR\n";
+        2
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -523,10 +764,20 @@ let top dialect trace once report stale interval =
 let top_cmd =
   let trace =
     Arg.(
-      required
+      value
       & opt (some file) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"the campaign's JSONL trace (written by campaign --trace)")
+  in
+  let fleet_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "fleet" ] ~docv:"DIR"
+          ~doc:
+            "a fleet directory (written by $(b,sqlancer fleet)): render \
+             per-shard health rows plus the merged funnel and frontier \
+             from the shard heartbeat files")
   in
   let once =
     Arg.(
@@ -555,11 +806,13 @@ let top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:
-         "live campaign funnel: tail a JSONL trace and render rounds/sec, \
-          the per-oracle firing funnel, the frontier fraction and the \
-          most-stale unexercised points (exits when the trace ends)")
+         "live campaign funnel: tail a JSONL trace (or a fleet directory \
+          with --fleet) and render rounds/sec, the per-oracle firing \
+          funnel, the frontier fraction and the most-stale unexercised \
+          points (exits when the trace ends)")
     Term.(
-      const top $ dialect_arg $ trace $ once $ report $ stale $ interval)
+      const top $ dialect_arg $ trace $ fleet_dir $ once $ report $ stale
+      $ interval)
 
 (* ---- replay ---- *)
 
@@ -826,6 +1079,7 @@ let () =
             hunt_cmd;
             run_cmd;
             campaign_cmd;
+            fleet_cmd;
             top_cmd;
             metamorphic_cmd;
             lint_cmd;

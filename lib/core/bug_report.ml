@@ -62,6 +62,9 @@ let script t =
 
 let loc t = List.length (effective_statements t)
 
+let fingerprint t =
+  Digest.to_hex (Digest.string (oracle_token t.oracle ^ "\n" ^ script t))
+
 let pp fmt t =
   Format.fprintf fmt "[%s/%s] %s (seed %d, phase %s)@."
     (Dialect.display_name t.dialect)

@@ -61,3 +61,9 @@ val pp : Format.formatter -> t -> unit
 val script : t -> string
 
 val loc : t -> int
+
+(** Deduplication fingerprint: hex digest of the oracle token plus the
+    (reduced) reproduction script.  Reduction is deterministic, so the
+    same underlying bug found by different shards fingerprints
+    identically — fleet-wide dedup keys on this. *)
+val fingerprint : t -> string

@@ -117,8 +117,32 @@ let write_chrome_trace t path = Telemetry.Trace.write path (chrome_events t)
 
 (* ------------------------------------------------------------------ *)
 
-let run ?domains ?trace ?chrome_trace ?frontier_json ~seed_lo ~seed_hi
-    (config : Runner.config) =
+(* the periodic metrics snapshot: a fresh registry built from the
+   supervisor-side merged stats (worker registries are single-owner and
+   must not be read mid-run; phase histograms appear only in the final
+   post-join export) *)
+let progress_registry ~domains ~seeds ~elapsed ~dialect (stats : Stats.t) =
+  let reg = Telemetry.create () in
+  Telemetry.inc reg ~by:stats.Stats.databases "pqs_rounds_total";
+  Telemetry.inc reg ~by:stats.Stats.statements "pqs_statements_total";
+  Telemetry.inc reg ~by:stats.Stats.queries "pqs_queries_total";
+  Telemetry.inc reg ~by:stats.Stats.pivots "pqs_pivots_total";
+  Telemetry.inc reg
+    ~by:(List.length stats.Stats.reports)
+    "pqs_reports_total";
+  Telemetry.set_gauge reg "pqs_campaign_domains" (float_of_int domains);
+  Telemetry.set_gauge reg "pqs_campaign_seeds" (float_of_int seeds);
+  Telemetry.set_gauge reg "pqs_campaign_elapsed_seconds" elapsed;
+  let universe = Gen_bias.universe dialect in
+  let labels = [ ("dialect", Sqlval.Dialect.name dialect) ] in
+  Telemetry.set_gauge reg ~labels "pqs_frontier_points_hit"
+    (float_of_int (Frontier.hit_in ~universe stats.Stats.frontier));
+  Telemetry.set_gauge reg ~labels "pqs_frontier_fraction"
+    (Frontier.fraction ~universe stats.Stats.frontier);
+  reg
+
+let run ?domains ?trace ?chrome_trace ?frontier_json ?metrics_every
+    ?metrics_path ~seed_lo ~seed_hi (config : Runner.config) =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -141,17 +165,40 @@ let run ?domains ?trace ?chrome_trace ?frontier_json ~seed_lo ~seed_hi
   let trace_oc = Option.map open_out trace in
   let trace_mutex = Mutex.create () in
   let seeds_done = Atomic.make 0 in
+  let t0 = Telemetry.Clock.now () in
+  let seeds = List.init (max 0 (seed_hi - seed_lo)) (fun i -> seed_lo + i) in
+  (* periodic metrics export: merged stats accumulate supervisor-side
+     under the trace mutex (worker registries are single-owner and can't
+     be read mid-run) and re-export atomically every [metrics_every]
+     seconds, so a scraper always sees a complete file *)
+  let metrics_acc = ref Stats.empty in
+  let metrics_last = ref 0.0 in
+  let note_metrics round =
+    match (metrics_every, metrics_path) with
+    | Some every, Some path ->
+        metrics_acc := Stats.merge !metrics_acc round;
+        let now = Telemetry.Clock.now () -. t0 in
+        if now -. !metrics_last >= every then begin
+          metrics_last := now;
+          let reg =
+            progress_registry ~domains ~seeds:(List.length seeds) ~elapsed:now
+              ~dialect:config.Runner.Config.dialect !metrics_acc
+          in
+          try Telemetry.write_file_atomic reg path with Sys_error _ -> ()
+        end
+    | _ -> ()
+  in
   (* each seed line streams out (and flushes) as its round completes, so an
      interrupted campaign still leaves a usable prefix of the trace *)
   let emit_seed o =
-    match trace_oc with
-    | None -> ()
-    | Some oc ->
-        Mutex.protect trace_mutex (fun () ->
+    Mutex.protect trace_mutex (fun () ->
+        (match trace_oc with
+        | None -> ()
+        | Some oc ->
             output_string oc (seed_line o ^ "\n");
-            flush oc)
+            flush oc);
+        note_metrics o.round)
   in
-  let seeds = List.init (max 0 (seed_hi - seed_lo)) (fun i -> seed_lo + i) in
   (* striped sharding balances load; any deterministic assignment yields
      the same merged result because rounds are independent *)
   let shard w = List.filter (fun s -> (s - seed_lo) mod domains = w) seeds in
@@ -171,7 +218,6 @@ let run ?domains ?trace ?chrome_trace ?frontier_json ~seed_lo ~seed_hi
     if telemetry_enabled then Array.init domains (fun _ -> Telemetry.create ())
     else [||]
   in
-  let t0 = Telemetry.Clock.now () in
   let work w () =
     let config =
       if Array.length worker_covs = 0 then config
@@ -270,6 +316,18 @@ let run ?domains ?trace ?chrome_trace ?frontier_json ~seed_lo ~seed_hi
               (Frontier.points o.round.Stats.frontier))
           outcomes
       end;
+      (* final periodic export: the full post-join registry (with the
+         phase histograms the mid-run snapshots cannot carry) *)
+      (match (metrics_every, metrics_path) with
+      | Some _, Some path -> (
+          let reg =
+            if telemetry_enabled then config.Runner.Config.telemetry
+            else
+              progress_registry ~domains ~seeds:(List.length seeds) ~elapsed
+                ~dialect stats
+          in
+          try Telemetry.write_file_atomic reg path with Sys_error _ -> ())
+      | _ -> ());
       (match frontier_json with
       | Some path -> (
           let bundles =

@@ -62,6 +62,17 @@ val statements_per_sec : t -> float
       write a {!Frontier.to_json} snapshot of the merged frontier
       (measured against the dialect's {!Gen_bias.universe}) to this path,
       cross-linking the repro bundles the campaign wrote.
+    @param metrics_every
+      with [metrics_path]: re-export a metrics snapshot at least this
+      many seconds apart while the campaign runs, through an atomic
+      rename ({!Telemetry.write_atomic}) so a Prometheus scraper never
+      reads a partial file.  Mid-run snapshots carry the merged counter
+      and frontier-gauge projection of the completed rounds (worker
+      registries are single-owner, so phase histograms appear only in
+      the final export written when the campaign ends).
+    @param metrics_path
+      target of the periodic export: Prometheus text format, or a JSON
+      snapshot when the path ends in [.json]
     @param seed_lo inclusive start of the seed range
     @param seed_hi exclusive end of the seed range
 
@@ -90,6 +101,8 @@ val run :
   ?trace:string ->
   ?chrome_trace:string ->
   ?frontier_json:string ->
+  ?metrics_every:float ->
+  ?metrics_path:string ->
   seed_lo:int ->
   seed_hi:int ->
   Runner.config ->

@@ -1,0 +1,31 @@
+(** [sqlancer top --fleet]: rebuild a live fleet picture from the
+    heartbeat files alone.
+
+    The viewer is a separate process from the supervisor, so it shares no
+    clock with the workers; per-shard heartbeat age comes from the shard
+    files' mtimes.  {!refresh} is incremental — it discovers newly
+    spawned shard files and tails known ones (surviving rotation and
+    truncation via {!Tail}), so calling it in a redraw loop tails a
+    fleet that is still running. *)
+
+open Sqlval
+
+type t
+
+val create : dialect:Dialect.t -> dir:string -> t
+
+(** Discover new shard files and fold any new heartbeat lines in. *)
+val refresh : t -> unit
+
+val aggregate : t -> Aggregate.t
+
+(** Terminal snapshot: fleet totals, per-shard health rows (state,
+    lease, watermark, rate, heartbeat age), merged oracle funnel and
+    frontier, deduplicated findings with their first-discovering shard.
+    [stall_after] controls when a shard with no fresh heartbeats renders
+    as stalled.  With [ansi] the output starts with a clear-screen
+    sequence. *)
+val render : ?ansi:bool -> ?stale:int -> ?stall_after:float -> t -> string
+
+(** The same snapshot as a self-contained HTML report. *)
+val render_html : ?stale:int -> ?stall_after:float -> t -> string

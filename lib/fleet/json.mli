@@ -1,0 +1,40 @@
+(** Minimal JSON values: just enough to decode the fleet's own
+    machine-written heartbeat and state records.
+
+    The encoder side of those records is hand-built (printf over escaped
+    strings, like every other exporter in the tree), so this module only
+    has to parse what we emit: objects, arrays, strings with the standard
+    escapes, numbers, booleans and null.  It is a strict recursive-descent
+    parser — trailing garbage or a truncated document is an [Error], which
+    is what makes the heartbeat tailer robust to partial writes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** fields in document order *)
+
+(** Parse one complete JSON document; [Error msg] on any syntax error,
+    truncation or trailing garbage. *)
+val parse : string -> (t, string) result
+
+(** {1 Accessors} — total lookups for decoding hand-written records. *)
+
+(** Field of an object ([None] for other constructors or missing key). *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** Accepts both [Num] and integer-valued floats. *)
+val to_float : t -> float option
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option
+
+(** {1 Encoding helper} *)
+
+(** Escape a string into a quoted JSON literal. *)
+val quote : string -> string

@@ -1,0 +1,32 @@
+type t = {
+  mutable front : (int * int) list;  (** requeued ranges, served first *)
+  rest : (int * int) Queue.t;
+}
+
+let create ~chunk ~lo ~hi =
+  let chunk = max 1 chunk in
+  let rest = Queue.create () in
+  let rec fill lo =
+    if lo < hi then begin
+      Queue.add (lo, min hi (lo + chunk)) rest;
+      fill (lo + chunk)
+    end
+  in
+  fill lo;
+  { front = []; rest }
+
+let lease t =
+  match t.front with
+  | r :: tl ->
+      t.front <- tl;
+      Some r
+  | [] -> ( match Queue.take_opt t.rest with Some r -> Some r | None -> None)
+
+let requeue t ~lo ~hi = if lo < hi then t.front <- (lo, hi) :: t.front
+
+let pending t =
+  let span (lo, hi) = hi - lo in
+  List.fold_left (fun acc r -> acc + span r) 0 t.front
+  + Queue.fold (fun acc r -> acc + span r) 0 t.rest
+
+let is_empty t = t.front = [] && Queue.is_empty t.rest

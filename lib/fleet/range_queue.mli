@@ -1,0 +1,29 @@
+(** Work-stealing seed-range queue.
+
+    The fleet's seed range [\[lo, hi)] is split into fixed-size chunks
+    that worker slots lease one at a time: fast shards come back for
+    more, so load balances without any cross-process coordination beyond
+    the supervisor handing out leases.  When the watchdog kills a shard,
+    the {e unfinished} tail of its lease ([\[watermark, hi)]) is
+    {!requeue}d at the front, so the replacement shard resumes exactly
+    where the heartbeats stopped — no seed lost, none double-run.
+
+    Single-process (supervisor-side) state; not thread-safe. *)
+
+type t
+
+(** [create ~chunk ~lo ~hi] splits [\[lo, hi)] into leases of at most
+    [chunk] seeds (the last one may be shorter). *)
+val create : chunk:int -> lo:int -> hi:int -> t
+
+(** Next lease, or [None] when everything has been handed out.
+    Requeued ranges are served before fresh chunks. *)
+val lease : t -> (int * int) option
+
+(** Return the unfinished part of a lease; empty ranges are ignored. *)
+val requeue : t -> lo:int -> hi:int -> unit
+
+(** Seeds not yet leased (including requeued ones). *)
+val pending : t -> int
+
+val is_empty : t -> bool

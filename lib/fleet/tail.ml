@@ -1,0 +1,100 @@
+type event = Line of string | Rotated
+
+type t = {
+  t_path : string;
+  mutable fd : Unix.file_descr option;
+  mutable ino : int;  (** inode of the opened file *)
+  mutable off : int;  (** bytes consumed from the opened file *)
+  partial : Buffer.t;  (** unterminated tail of the last read *)
+  chunk : Bytes.t;
+}
+
+let create path =
+  {
+    t_path = path;
+    fd = None;
+    ino = -1;
+    off = 0;
+    partial = Buffer.create 256;
+    chunk = Bytes.create 65536;
+  }
+
+let path t = t.t_path
+
+let close t =
+  (match t.fd with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  t.fd <- None;
+  t.ino <- -1;
+  t.off <- 0;
+  Buffer.clear t.partial
+
+let try_open t =
+  match Unix.openfile t.t_path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      let st = Unix.fstat fd in
+      t.fd <- Some fd;
+      t.ino <- st.Unix.st_ino;
+      t.off <- 0;
+      Buffer.clear t.partial;
+      true
+  | exception Unix.Unix_error _ -> false
+
+(* read from the current offset to EOF, splitting into complete lines;
+   the unterminated tail stays in [t.partial] *)
+let read_lines t fd acc =
+  let rec go acc =
+    match Unix.read fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 | (exception Unix.Unix_error (Unix.EINTR, _, _)) -> acc
+    | n ->
+        t.off <- t.off + n;
+        let rec split acc start =
+          match Bytes.index_from_opt t.chunk start '\n' with
+          | Some i when i < n ->
+              Buffer.add_subbytes t.partial t.chunk start (i - start);
+              let line = Buffer.contents t.partial in
+              Buffer.clear t.partial;
+              split (Line line :: acc) (i + 1)
+          | _ ->
+              Buffer.add_subbytes t.partial t.chunk start (n - start);
+              acc
+        in
+        go (split acc 0)
+  in
+  go acc
+
+let poll t =
+  (* detect in-place truncation and path rotation before reading: a
+     shrunk or replaced file means our offset points into stale data *)
+  let events = ref [] in
+  (match t.fd with
+  | None -> ignore (try_open t)
+  | Some fd -> (
+      let cur = try Some (Unix.fstat fd) with Unix.Unix_error _ -> None in
+      let on_path = try Some (Unix.stat t.t_path) with Unix.Unix_error _ -> None in
+      match (cur, on_path) with
+      | Some cur, _ when cur.Unix.st_size < t.off ->
+          (* truncated in place: restart from the top of the same file *)
+          ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+          t.off <- 0;
+          Buffer.clear t.partial;
+          events := [ Rotated ]
+      | Some _, Some st when st.Unix.st_ino <> t.ino ->
+          (* rotated: finish the old file, then switch to the new one *)
+          events := List.rev (read_lines t fd []);
+          close t;
+          if try_open t then events := !events @ [ Rotated ]
+      | Some _, None ->
+          (* path deleted; keep draining the open file until it reappears *)
+          ()
+      | None, _ -> close t
+      | _ -> ()));
+  match t.fd with
+  | None -> !events
+  | Some fd -> !events @ List.rev (read_lines t fd [])
+
+let drain t =
+  let events = poll t in
+  Buffer.clear t.partial;
+  events
+
+let offset t = t.off - Buffer.length t.partial

@@ -1,0 +1,43 @@
+(** Line tailer for machine-written JSONL files that is robust to
+    partial writes, truncation and rotation.
+
+    The fleet aggregator tails per-shard heartbeat files and [sqlancer
+    top] tails a campaign trace that may be hours old and logrotated.
+    Each {!poll} returns every {e complete} line appended since the last
+    poll; a trailing unterminated line is buffered until its newline
+    arrives (or discarded by {!drain} / on rotation), so a reader never
+    sees a torn record.
+
+    Rotation and truncation are detected by watching the path's inode
+    and size: when the file shrinks in place the tailer restarts from
+    offset 0, and when the path points at a new inode the old file is
+    read to EOF first and then the new one is opened — both surface as a
+    {!Rotated} event so accumulating consumers can reset instead of
+    double counting.  A missing file is not an error; the tailer waits
+    for it to appear. *)
+
+type t
+
+type event =
+  | Line of string  (** one complete line, without the newline *)
+  | Rotated
+      (** the file was truncated or replaced; subsequent lines are from
+          the fresh file *)
+
+(** Tail [path]; the file need not exist yet. *)
+val create : string -> t
+
+val path : t -> string
+
+(** All events since the previous poll, in order. *)
+val poll : t -> event list
+
+(** Like {!poll}, but for a writer that is known to have stopped (e.g. a
+    reaped worker): reads to EOF and {e discards} any trailing
+    unterminated line — a crash mid-write can never complete it. *)
+val drain : t -> event list
+
+(** Byte offset of the first unconsumed byte (diagnostics). *)
+val offset : t -> int
+
+val close : t -> unit

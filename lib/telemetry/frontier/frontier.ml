@@ -46,6 +46,18 @@ let rec union a b =
 
 let union_all = List.fold_left union empty
 let points t = t
+
+let of_entries entries =
+  (* re-canonicalize: decoded input may be unsorted or carry duplicates *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  |> List.fold_left
+       (fun acc (p, e) ->
+         match acc with
+         | (p', e') :: rest when String.equal p p' ->
+             (p', combine e e') :: rest
+         | _ -> (p, e) :: acc)
+       []
+  |> List.rev
 let hits t point =
   match List.assoc_opt point t with Some e -> e.hits | None -> 0
 

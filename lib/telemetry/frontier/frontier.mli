@@ -43,6 +43,11 @@ val union_all : t list -> t
 (** All points with their entries, sorted by point name. *)
 val points : t -> (string * entry) list
 
+(** Rebuild a frontier from decoded [(point, entry)] pairs (the inverse
+    of {!points}); input may be unsorted and may carry duplicates, which
+    combine as in {!union}. *)
+val of_entries : (string * entry) list -> t
+
 (** Hit count of one point (0 when never hit). *)
 val hits : t -> string -> int
 

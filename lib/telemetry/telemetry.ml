@@ -422,6 +422,55 @@ let snapshot t =
              | 0 -> compare a.s_labels b.s_labels
              | c -> c)
 
+(* re-inject a decoded sample with merge semantics (counters and gauges
+   add, histogram cumulative buckets unfold back into cells) — the fleet
+   aggregator's path for folding worker heartbeat snapshots *)
+let record_sample t (s : sample) =
+  match t with
+  | Noop -> ()
+  | Active st -> (
+      match s.s_value with
+      | Counter c -> (
+          match
+            find_fast st s.s_name s.s_labels (fun () -> M_counter { c = 0 })
+          with
+          | M_counter r -> r.c <- r.c + c
+          | _ ->
+              invalid_arg
+                ("Telemetry.record_sample: " ^ s.s_name ^ " is not a counter"))
+      | Gauge g -> (
+          match
+            find_fast st s.s_name s.s_labels (fun () -> M_gauge { g = 0.0 })
+          with
+          | M_gauge r -> r.g <- r.g +. g
+          | _ ->
+              invalid_arg
+                ("Telemetry.record_sample: " ^ s.s_name ^ " is not a gauge"))
+      | Histogram { buckets; sum; count } -> (
+          let bounds = Array.of_list (List.map fst buckets) in
+          match
+            find_fast st s.s_name s.s_labels (fun () ->
+                M_hist (fresh_hist bounds))
+          with
+          | M_hist h ->
+              if h.h_bounds <> bounds then
+                invalid_arg
+                  ("Telemetry.record_sample: histogram " ^ s.s_name
+                 ^ " has mismatched buckets");
+              let prev = ref 0 in
+              List.iteri
+                (fun i (_, cum) ->
+                  h.h_cells.(i) <- h.h_cells.(i) + (cum - !prev);
+                  prev := cum)
+                buckets;
+              h.h_overflow <- h.h_overflow + (count - !prev);
+              h.h_sum <- h.h_sum +. sum;
+              h.h_count <- h.h_count + count
+          | _ ->
+              invalid_arg
+                ("Telemetry.record_sample: " ^ s.s_name
+               ^ " is not a histogram")))
+
 let find_metric t name labels =
   match t with
   | Noop -> None
@@ -506,6 +555,21 @@ let help_of = function
   | "minidb_btree_entries_scanned_total" ->
       "B-tree entries examined by index lookups."
   | "minidb_heap_rows_scanned_total" -> "Heap rows read by table scans."
+  | "pqs_fleet_shards_live" ->
+      "Fleet shards currently running with fresh heartbeats."
+  | "pqs_fleet_shards_total" -> "Fleet shards ever spawned."
+  | "pqs_fleet_rounds_total" -> "Database rounds completed fleet-wide."
+  | "pqs_fleet_statements_total" -> "Statements issued fleet-wide."
+  | "pqs_fleet_reports_total" -> "Bug reports recorded fleet-wide."
+  | "pqs_fleet_distinct_fingerprints" ->
+      "Distinct minimized-repro fingerprints discovered fleet-wide."
+  | "pqs_fleet_rounds_per_sec" -> "Fleet-wide throughput in rounds per second."
+  | "pqs_fleet_shard_rounds_per_sec" ->
+      "Per-shard throughput from the latest heartbeat."
+  | "pqs_fleet_frontier_points_hit" ->
+      "Universe frontier points hit by the merged fleet frontier."
+  | "pqs_fleet_frontier_fraction" ->
+      "Fraction of the frontier universe hit by the merged fleet frontier."
   | name -> "Metric " ^ name ^ "."
 
 (* Prometheus renders integers bare and floats with enough digits to
@@ -647,6 +711,20 @@ let write_file t path =
       output_string oc
         (if Filename.check_suffix path ".json" then to_json t
          else to_prometheus t))
+
+(* same-directory temp + rename, so concurrent readers (Prometheus
+   scrapers, [sqlancer top --fleet]) never observe a partial file *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let write_file_atomic t path =
+  write_atomic path
+    (if Filename.check_suffix path ".json" then to_json t else to_prometheus t)
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace events                                                 *)

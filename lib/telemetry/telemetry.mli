@@ -194,6 +194,15 @@ type sample = {
     view of the registry (the merge-law tests compare snapshots). *)
 val snapshot : t -> sample list
 
+(** Fold one {!sample} back into the registry with the {!merge_into}
+    semantics (counters and gauges add, cumulative histogram buckets
+    unfold into per-bucket cells) — so recording every sample of a
+    {!snapshot} equals merging the snapshotted registry.  The fleet
+    aggregator uses this to fold worker heartbeat snapshots received over
+    process boundaries.  Raises [Invalid_argument] on a type or bucket
+    layout clash, like {!merge_into}. *)
+val record_sample : t -> sample -> unit
+
 (** Current counter value; 0 when the series does not exist. *)
 val counter_value : t -> ?labels:(string * string) list -> string -> int
 
@@ -221,6 +230,15 @@ val to_json : t -> string
 
 (** Write {!to_json} if [path] ends in [.json], else {!to_prometheus}. *)
 val write_file : t -> string -> unit
+
+(** [write_atomic path content] writes [content] through a same-directory
+    temp file and atomic rename, so concurrent readers never observe a
+    partial file.  The building block for every periodically re-exported
+    snapshot (campaign [--metrics-every], fleet state files). *)
+val write_atomic : string -> string -> unit
+
+(** {!write_file} through {!write_atomic}. *)
+val write_file_atomic : t -> string -> unit
 
 (** {1 Chrome trace events} *)
 
